@@ -1,0 +1,39 @@
+// Command roofline prints the machine-balance table, the kernel roofline
+// placements for a chosen machine, and the roofline curves of all presets.
+//
+// Usage:
+//
+//	roofline [-machine petascale2009]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tenways"
+)
+
+func main() {
+	machineName := flag.String("machine", "petascale2009", "machine preset for the kernel table")
+	flag.Parse()
+
+	spec := tenways.MachineByName(*machineName)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "roofline: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+	lab := tenways.NewLab()
+	for _, id := range []string{"T2", "T4", "F8"} {
+		out, err := lab.Run(id, tenways.Config{Machine: spec})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "roofline: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := out.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "roofline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,104 @@
+// Command wastelab runs the tenways evaluation suite: it lists the
+// experiments, runs one or all of them on a chosen machine preset, prints
+// tables to stdout, and optionally writes figure CSVs for plotting.
+//
+// Usage:
+//
+//	wastelab -list
+//	wastelab -run T1 -machine petascale2009
+//	wastelab -run all -quick -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tenways"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list experiments and exit")
+		run         = flag.String("run", "", "experiment id to run, or 'all'")
+		machineName = flag.String("machine", "petascale2009", "machine preset (see -machines)")
+		machines    = flag.Bool("machines", false, "list machine presets and exit")
+		quick       = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		markdown    = flag.Bool("markdown", false, "render tables as markdown instead of ASCII")
+		csvDir      = flag.String("csv", "", "directory to write figure CSVs into")
+	)
+	flag.Parse()
+
+	lab := tenways.NewLab()
+
+	if *machines {
+		for _, m := range tenways.Machines() {
+			fmt.Printf("%-28s %d nodes x %d cores, %.3g GF/s/node, %.3g GB/s DRAM\n",
+				m.Name, m.Nodes, m.CoresPerNode, m.PeakFlopsPerNode()/1e9, m.DRAM.BytesPerSec/1e9)
+		}
+		return
+	}
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range lab.Experiments() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: wastelab -run <id> [-machine <preset>] [-quick] [-csv dir]")
+		}
+		return
+	}
+
+	spec := tenways.MachineByName(*machineName)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "wastelab: unknown machine %q (try -machines)\n", *machineName)
+		os.Exit(2)
+	}
+	cfg := tenways.Config{Machine: spec, Quick: *quick}
+
+	ids := []string{*run}
+	if strings.EqualFold(*run, "all") {
+		ids = lab.IDs()
+	}
+	for _, id := range ids {
+		out, err := lab.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wastelab: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *markdown && out.Table != nil {
+			if err := out.Table.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "wastelab: render: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err := out.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wastelab: render: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvDir != "" && out.Figure != nil {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, strings.ToLower(id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
+				os.Exit(1)
+			}
+			if err := out.Figure.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Collectives: how algorithm choice and network quality interact. The
+// example builds a custom machine — the 2009 petascale preset with a 10×
+// worse interconnect — and regenerates the collective experiments (T3:
+// algorithms vs scale, T6: schedules under topology contention, F14:
+// allreduce scaling) on both machines, showing that the *ranking* of
+// algorithms is stable while the *stakes* grow with the gap between
+// compute and network speed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tenways"
+)
+
+func main() {
+	good := tenways.Petascale2009()
+
+	// A custom machine: same node, an interconnect with 10x the latency
+	// and a tenth of the bandwidth (an oversubscribed cluster).
+	bad := tenways.Petascale2009()
+	bad.Name = "petascale2009-slow-net"
+	bad.Net.AlphaSec *= 10
+	bad.Net.OverheadSec *= 10
+	bad.Net.BytesPerSec /= 10
+
+	lab := tenways.NewLab()
+	for _, m := range []*tenways.Machine{good, bad} {
+		fmt.Printf("==== machine: %s (alpha=%.3gus, bw=%.3g GB/s, n1/2=%.3g KiB) ====\n\n",
+			m.Name, m.Net.AlphaSec*1e6, m.Net.BytesPerSec/1e9, m.HalfBandwidthBytes()/1024)
+		for _, id := range []string{"T3", "T6"} {
+			out, err := lab.Run(id, tenways.Config{Machine: m, Quick: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := out.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("==== allreduce scaling on the slow network (F14) ====")
+	out, err := lab.Run("F14", tenways.Config{Machine: bad, Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

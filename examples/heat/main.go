@@ -1,0 +1,109 @@
+// Heat: a 2-D heat-diffusion application examined on both planes.
+//
+// Measured plane: the Jacobi sweep runs on real goroutines under the
+// instrumented pool, first with a deliberately serialised reduction per
+// step (wasteful), then with privatised partial sums (remedied); the audit
+// reports what changed.
+//
+// Modeled plane: the same application's communication stack is simulated
+// on every machine preset, wasteful versus remedied, reporting the
+// keynote's metric — simulated steps per joule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"tenways"
+)
+
+const (
+	n     = 256 // interior grid dimension
+	steps = 40
+)
+
+func sweep(p *tenways.Pool, dst, src []float64, serialReduce bool, mu *sync.Mutex, residual *float64) {
+	w := n + 2
+	p.ForEachChunked(n, 8, func(r int) {
+		i := r + 1
+		local := 0.0
+		for j := 1; j <= n; j++ {
+			v := 0.25 * (src[i*w+j-1] + src[i*w+j+1] + src[(i-1)*w+j] + src[(i+1)*w+j])
+			local += abs(v - src[i*w+j])
+			dst[i*w+j] = v
+			if serialReduce {
+				// W5 anti-pattern: take the global lock per point.
+				mu.Lock()
+				*residual += abs(v - src[i*w+j])
+				mu.Unlock()
+			}
+		}
+		if !serialReduce {
+			mu.Lock()
+			*residual += local
+			mu.Unlock()
+		}
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func measured(serialReduce bool) (time.Duration, tenways.Breakdown, []tenways.Advice) {
+	w := n + 2
+	a := make([]float64, w*w)
+	b := make([]float64, w*w)
+	for i := 0; i < w; i++ {
+		a[i*w] = 100 // hot west wall
+		b[i*w] = 100
+	}
+	var mu sync.Mutex
+	start := time.Now()
+	breakdown, advice := tenways.Audit(4, func(p *tenways.Pool) {
+		for s := 0; s < steps; s++ {
+			var residual float64
+			sweep(p, b, a, serialReduce, &mu, &residual)
+			a, b = b, a
+		}
+	})
+	return time.Since(start), breakdown, advice
+}
+
+func main() {
+	fmt.Printf("measured 2-D heat, %dx%d grid, %d steps, 4 workers\n\n", n, n, steps)
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"per-point locked reduction (wasteful)", true}, {"privatised reduction (remedied)", false}} {
+		elapsed, b, advice := measured(mode.serial)
+		fmt.Printf("== %s ==\n", mode.name)
+		fmt.Printf("wall: %v, breakdown: %s\n", elapsed.Round(time.Millisecond), b)
+		for _, a := range advice {
+			fmt.Printf("diagnosis: [%s] %s — %s\n", a.ModeID, a.Name, a.Evidence)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("modeled campaign: 32 ranks, 2048^2 grid, 10 steps")
+	fmt.Printf("%-30s %-10s %12s %12s %14s\n", "machine", "stack", "seconds", "joules", "steps/joule")
+	for _, m := range tenways.Machines() {
+		for _, wasteful := range []bool{true, false} {
+			res, err := tenways.StencilCampaign(m, 32, 2048, 10, wasteful)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stack := "remedied"
+			if wasteful {
+				stack = "wasteful"
+			}
+			fmt.Printf("%-30s %-10s %12.4g %12.4g %14.4g\n",
+				m.Name, stack, res.Seconds, res.Joules, res.StepsPerJoule())
+		}
+	}
+}

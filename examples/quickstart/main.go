@@ -1,0 +1,45 @@
+// Quickstart: run one waste demonstrator, print the headline table, and
+// audit a small parallel loop — the three public entry points in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tenways"
+)
+
+func main() {
+	// 1. One waste mode on one machine.
+	out, err := tenways.RunWaste("W7", tenways.Petascale2009())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("W7 (small messages) on petascale2009: wasteful %.3gs vs remedied %.3gs — %.0fx slower, %.0fx more energy\n\n",
+		out.Wasteful.Seconds, out.Remedied.Seconds, out.TimeFactor(), out.EnergyFactor())
+
+	// 2. The headline table, quickly.
+	lab := tenways.NewLab()
+	t1, err := lab.Run("T1", tenways.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t1.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// 3. Audit your own loop.
+	_, advice := tenways.Audit(4, func(p *tenways.Pool) {
+		p.ForEachStatic(200, func(i int) {
+			if i < 20 {
+				time.Sleep(300 * time.Microsecond) // skewed work
+			}
+		})
+	})
+	for _, a := range advice {
+		fmt.Printf("audit: [%s] %s — %s\n", a.ModeID, a.Name, a.Evidence)
+	}
+}

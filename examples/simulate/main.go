@@ -1,0 +1,69 @@
+// Simulate: write your own rank program against the simulated machine.
+// This example implements a small bulk-synchronous pipeline two ways — a
+// wasteful version that barriers globally every step and sends fine-
+// grained messages, and a remedied version — then lets the library itself
+// say what was wrong: World.Breakdown feeds the same Diagnose engine the
+// measured plane uses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tenways"
+)
+
+const (
+	ranks = 16
+	steps = 30
+	words = 2048
+)
+
+func pipeline(wasteful bool) (makespan float64, joules float64, advice []tenways.Advice) {
+	m := tenways.Petascale2009()
+	w := tenways.NewWorld(ranks, m)
+	w.Alloc("stage", words)
+	buf := make([]float64, words)
+	makespan, err := w.Run(func(r *tenways.Rank) {
+		c := tenways.NewComm(r)
+		next := (r.ID() + 1) % ranks
+		for s := 0; s < steps; s++ {
+			if wasteful {
+				// One word at a time, then a global barrier.
+				for off := 0; off < words; off += words / 8 {
+					r.Put(next, "stage", off, buf[off:off+words/8])
+				}
+				r.Compute(1e6, 1e5)
+				c.BarrierCentral()
+			} else {
+				// One bulk split-phase transfer overlapped with compute;
+				// the pipeline needs no global barrier at all.
+				h := r.PutSignal(next, "stage", 0, buf, "stage")
+				r.Compute(1e6, 1e5)
+				h.Wait()
+				r.WaitSignal("stage", int64(s+1))
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return makespan, w.Meter().Total(), tenways.Diagnose(w.Breakdown(makespan))
+}
+
+func main() {
+	for _, mode := range []struct {
+		name     string
+		wasteful bool
+	}{{"wasteful pipeline", true}, {"remedied pipeline", false}} {
+		secs, joules, advice := pipeline(mode.wasteful)
+		fmt.Printf("== %s ==\nmodeled time %.4gms, energy %.4gJ\n", mode.name, secs*1e3, joules)
+		if len(advice) == 0 {
+			fmt.Println("diagnosis: clean")
+		}
+		for _, a := range advice {
+			fmt.Printf("diagnosis: [%s] %s — %s\n  remedy: %s\n", a.ModeID, a.Name, a.Evidence, a.Remedy)
+		}
+		fmt.Println()
+	}
+}

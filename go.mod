@@ -1,0 +1,3 @@
+module tenways
+
+go 1.22

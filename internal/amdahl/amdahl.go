@@ -1,0 +1,105 @@
+// Package amdahl implements the classic analytic speedup models the
+// keynote's serialisation argument (W5) rests on — Amdahl's law, Gustafson's
+// scaled speedup, and the work–span bound — plus the Karp–Flatt metric,
+// which recovers the experimentally determined serial fraction from
+// measured speedups and so connects the measured plane's numbers back to
+// the models.
+package amdahl
+
+import (
+	"errors"
+	"math"
+)
+
+// Speedup returns Amdahl's law: the speedup of a program with serial
+// fraction f on p processors, 1 / (f + (1-f)/p).
+func Speedup(f float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return 1 / (f + (1-f)/float64(p))
+}
+
+// Limit returns Amdahl's asymptotic speedup bound 1/f for serial fraction
+// f; +Inf when f is 0.
+func Limit(f float64) float64 {
+	if f == 0 {
+		return math.Inf(1)
+	}
+	return 1 / f
+}
+
+// Gustafson returns the scaled speedup of Gustafson's law: p - f·(p-1),
+// the speedup when the parallel part grows with the machine.
+func Gustafson(f float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return float64(p) - f*float64(p-1)
+}
+
+// ErrBadMeasurement reports an unusable speedup observation.
+var ErrBadMeasurement = errors.New("amdahl: need p >= 2 and speedup in (0, p]")
+
+// KarpFlatt returns the experimentally determined serial fraction
+// e = (1/S - 1/p) / (1 - 1/p) from a measured speedup S on p processors.
+// A serial fraction that *grows* with p indicates overhead (communication,
+// synchronisation) rather than inherent serialisation.
+func KarpFlatt(speedup float64, p int) (float64, error) {
+	if p < 2 || speedup <= 0 || speedup > float64(p)+1e-9 {
+		return 0, ErrBadMeasurement
+	}
+	pf := float64(p)
+	return (1/speedup - 1/pf) / (1 - 1/pf), nil
+}
+
+// Efficiency returns speedup/p.
+func Efficiency(speedup float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return speedup / float64(p)
+}
+
+// WorkSpan returns the greedy-scheduler bound of Brent's theorem: the
+// execution time on p processors of a computation with the given total
+// work and critical-path span (both in the same unit), T_p <= work/p + span.
+func WorkSpan(work, span float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return work/float64(p) + span
+}
+
+// Parallelism returns work/span, the maximum useful processor count.
+func Parallelism(work, span float64) float64 {
+	if span == 0 {
+		return math.Inf(1)
+	}
+	return work / span
+}
+
+// FitSerialFraction estimates a single serial fraction from several
+// (p, speedup) observations by averaging their Karp–Flatt metrics;
+// it also reports whether the per-point fractions trend upward (a sign of
+// scaling overhead rather than fixed serial work).
+func FitSerialFraction(ps []int, speedups []float64) (f float64, growing bool, err error) {
+	if len(ps) != len(speedups) || len(ps) == 0 {
+		return 0, false, ErrBadMeasurement
+	}
+	var fractions []float64
+	for i := range ps {
+		kf, err := KarpFlatt(speedups[i], ps[i])
+		if err != nil {
+			return 0, false, err
+		}
+		fractions = append(fractions, kf)
+	}
+	sum := 0.0
+	for _, x := range fractions {
+		sum += x
+	}
+	f = sum / float64(len(fractions))
+	growing = len(fractions) >= 2 && fractions[len(fractions)-1] > fractions[0]+1e-12
+	return f, growing, nil
+}

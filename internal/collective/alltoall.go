@@ -1,0 +1,62 @@
+package collective
+
+import "fmt"
+
+// AlltoallPersonalized performs the all-to-all personalised exchange: rank
+// i's data[j] is delivered to rank j, and the call returns what this rank
+// received, indexed by source (out[me] is this rank's own block, copied).
+// Block sizes may differ arbitrarily: a one-word count header precedes
+// each block, as in MPI_Alltoallv implementations.
+//
+// Two variants: chunkWords <= 0 sends each block as one bulk message (the
+// remedied form); chunkWords > 0 splits every block into messages of at
+// most chunkWords words — the W7 anti-pattern, used by the wasteful sort
+// campaign. In chunked mode, chunks of unequal size can be delivered out
+// of order (smaller messages overtake larger ones on the modeled network),
+// so the payload must be order-insensitive within a block — true for the
+// sort campaign, which re-sorts received keys anyway.
+func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float64 {
+	r := c.r
+	n := r.N()
+	if len(data) != n {
+		panic(fmt.Sprintf("collective: alltoall needs %d blocks, got %d", n, len(data)))
+	}
+	me := r.ID()
+	out := make([][]float64, n)
+	out[me] = append([]float64(nil), data[me]...)
+	// Send phase: all sends are fire-and-forget, so no deadlock regardless
+	// of ordering. A count header goes first on its own box.
+	for off := 1; off < n; off++ {
+		dst := (me + off) % n
+		block := data[dst]
+		r.Send(dst, fmt.Sprintf("a2a.cnt.%d", me), []float64{float64(len(block))})
+		if len(block) == 0 {
+			continue
+		}
+		box := fmt.Sprintf("a2a.%d", me)
+		if chunkWords <= 0 || chunkWords >= len(block) {
+			r.Send(dst, box, block)
+			continue
+		}
+		for lo := 0; lo < len(block); lo += chunkWords {
+			hi := lo + chunkWords
+			if hi > len(block) {
+				hi = len(block)
+			}
+			r.Send(dst, box, block[lo:hi])
+		}
+	}
+	// Receive phase: header first, then accumulate until complete.
+	for off := 1; off < n; off++ {
+		src := (me + off) % n
+		hdr := r.Recv(fmt.Sprintf("a2a.cnt.%d", src))
+		want := int(hdr[0])
+		buf := make([]float64, 0, want)
+		box := fmt.Sprintf("a2a.%d", src)
+		for len(buf) < want {
+			buf = append(buf, r.Recv(box)...)
+		}
+		out[src] = buf
+	}
+	return out
+}

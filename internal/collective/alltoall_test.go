@@ -1,0 +1,161 @@
+package collective
+
+import (
+	"sort"
+	"testing"
+
+	"tenways/internal/pgas"
+)
+
+// buildBlocks makes rank me's outgoing data: block for dst j holds values
+// encoding (me, j) so receipt can be verified, with size (me+j+1) to
+// exercise asymmetric lengths.
+func buildBlocks(me, n int) [][]float64 {
+	out := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		size := me + j + 1
+		b := make([]float64, size)
+		for k := range b {
+			b[k] = float64(me*1000 + j)
+		}
+		out[j] = b
+	}
+	return out
+}
+
+func TestAlltoallPersonalizedDelivers(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for _, chunk := range []int{0, 2} {
+			got := make([][][]float64, n)
+			w := pgas.NewWorld(n, spec(), nil, nil)
+			_, err := w.Run(func(r *pgas.Rank) {
+				c := New(r)
+				got[r.ID()] = c.AlltoallPersonalized(buildBlocks(r.ID(), n), chunk)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for me := 0; me < n; me++ {
+				for src := 0; src < n; src++ {
+					block := got[me][src]
+					wantLen := src + me + 1
+					if len(block) != wantLen {
+						t.Fatalf("n=%d chunk=%d: rank %d block from %d has %d elems, want %d",
+							n, chunk, me, src, len(block), wantLen)
+					}
+					for _, v := range block {
+						if v != float64(src*1000+me) {
+							t.Fatalf("n=%d chunk=%d: rank %d got value %g from %d",
+								n, chunk, me, v, src)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallEmptyBlocks(t *testing.T) {
+	n := 4
+	got := make([][][]float64, n)
+	w := pgas.NewWorld(n, spec(), nil, nil)
+	_, err := w.Run(func(r *pgas.Rank) {
+		blocks := make([][]float64, n)
+		for j := range blocks {
+			if j%2 == 0 {
+				blocks[j] = []float64{float64(r.ID())}
+			} // odd destinations get empty blocks
+		}
+		got[r.ID()] = New(r).AlltoallPersonalized(blocks, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for me := 0; me < n; me++ {
+		for src := 0; src < n; src++ {
+			want := 0
+			if me%2 == 0 {
+				want = 1
+			}
+			if len(got[me][src]) != want {
+				t.Fatalf("rank %d from %d: %d elems, want %d", me, src, len(got[me][src]), want)
+			}
+		}
+	}
+}
+
+func TestAlltoallChunkedSlowerThanBulk(t *testing.T) {
+	n := 8
+	blockLen := 512
+	run := func(chunk int) float64 {
+		w := pgas.NewWorld(n, spec(), nil, nil)
+		end, err := w.Run(func(r *pgas.Rank) {
+			blocks := make([][]float64, n)
+			for j := range blocks {
+				blocks[j] = make([]float64, blockLen)
+			}
+			New(r).AlltoallPersonalized(blocks, chunk)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	bulk := run(0)
+	chunked := run(4)
+	if chunked <= bulk {
+		t.Fatalf("chunked alltoall (%g) should be slower than bulk (%g)", chunked, bulk)
+	}
+}
+
+func TestAlltoallAsSortExchange(t *testing.T) {
+	// End-to-end integration: a tiny distributed sample sort. Each rank
+	// partitions its keys by splitter and alltoalls them; afterwards every
+	// key on rank i is < every key on rank i+1.
+	n := 4
+	perRank := 64
+	results := make([][]float64, n)
+	w := pgas.NewWorld(n, spec(), nil, nil)
+	_, err := w.Run(func(r *pgas.Rank) {
+		c := New(r)
+		me := r.ID()
+		// Deterministic pseudo-random keys in [0, 1).
+		keys := make([]float64, perRank)
+		for k := range keys {
+			keys[k] = float64((me*perRank+k)*2654435761%1000003) / 1000003
+		}
+		// Uniform splitters.
+		blocks := make([][]float64, n)
+		for _, key := range keys {
+			d := int(key * float64(n))
+			if d >= n {
+				d = n - 1
+			}
+			blocks[d] = append(blocks[d], key)
+		}
+		recv := c.AlltoallPersonalized(blocks, 0)
+		var mine []float64
+		for _, b := range recv {
+			mine = append(mine, b...)
+		}
+		sort.Float64s(mine)
+		results[me] = mine
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var last float64 = -1
+	for i := 0; i < n; i++ {
+		for _, v := range results[i] {
+			if v < last {
+				t.Fatalf("global order violated at rank %d", i)
+			}
+			last = v
+			total++
+		}
+	}
+	if total != n*perRank {
+		t.Fatalf("lost keys: %d of %d", total, n*perRank)
+	}
+}

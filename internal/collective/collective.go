@@ -1,0 +1,280 @@
+// Package collective implements classic collective-communication
+// algorithms — barriers, broadcasts, and allreduces — on top of the pgas
+// runtime, in several variants each, so the experiments can compare their
+// scaling (T3, F14) and demonstrate the over-synchronisation waste (W3).
+//
+// Every rank of a world must call the same collective the same number of
+// times, passing the Comm it created at startup. Barriers are built on
+// pgas signal counters; the data-carrying collectives on pgas mailboxes,
+// which copy at delivery time and so need no buffer management. One
+// constraint inherited from the network model's per-sender FIFO-by-size
+// ordering: repeated calls to the same vector collective on one world must
+// use the same vector length (all the experiments do).
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tenways/internal/pgas"
+)
+
+// Op is a binary reduction operator; it must be associative and commutative
+// for the tree algorithms to equal the flat reference.
+type Op func(a, b float64) float64
+
+// Sum is the addition operator.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is the maximum operator.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Comm is one rank's collective context. Create exactly one per rank at the
+// start of the rank body.
+type Comm struct {
+	r      *pgas.Rank
+	counts map[string]int64 // consumed-signal thresholds per flag
+}
+
+// New creates the rank's collective context.
+func New(r *pgas.Rank) *Comm {
+	return &Comm{r: r, counts: make(map[string]int64)}
+}
+
+// Rank returns the underlying pgas rank.
+func (c *Comm) Rank() *pgas.Rank { return c.r }
+
+// waitMore blocks until k further signals beyond all previously consumed
+// ones have arrived on flag.
+func (c *Comm) waitMore(flag string, k int64) {
+	c.counts[flag] += k
+	c.r.WaitSignal(flag, c.counts[flag])
+}
+
+// waitSync is waitMore inside a Sync section: the blocked time is
+// attributed to sync-wait rather than comm-wait. Barriers use it.
+func (c *Comm) waitSync(flag string, k int64) {
+	c.r.Sync(func() { c.waitMore(flag, k) })
+}
+
+// BarrierCentral is the naive barrier: everyone signals rank 0; rank 0
+// signals everyone back. O(P) serialised messages at the root.
+func (c *Comm) BarrierCentral() {
+	r := c.r
+	n := r.N()
+	if n == 1 {
+		return
+	}
+	if r.ID() == 0 {
+		c.waitSync("bar.c.up", int64(n-1))
+		for d := 1; d < n; d++ {
+			r.Signal(d, "bar.c.down")
+		}
+	} else {
+		r.Signal(0, "bar.c.up")
+		c.waitSync("bar.c.down", 1)
+	}
+}
+
+// BarrierDissemination is the O(log P) dissemination barrier: in round k,
+// rank i signals rank (i+2^k) mod P and waits for the symmetric signal.
+func (c *Comm) BarrierDissemination() {
+	r := c.r
+	n := r.N()
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		flag := fmt.Sprintf("bar.d.%d", k)
+		r.Signal((r.ID()+dist)%n, flag)
+		c.waitSync(flag, 1)
+	}
+}
+
+// BarrierTree is a binomial combine-then-broadcast barrier: O(log P) depth
+// with half the messages of dissemination.
+func (c *Comm) BarrierTree() {
+	r := c.r
+	n := r.N()
+	if n == 1 {
+		return
+	}
+	id := r.ID()
+	if nch := len(children(id, n)); nch > 0 {
+		c.waitSync("bar.t.up", int64(nch))
+	}
+	if id != 0 {
+		r.Signal(parent(id), "bar.t.up")
+		c.waitSync("bar.t.down", 1)
+	}
+	for _, ch := range children(id, n) {
+		r.Signal(ch, "bar.t.down")
+	}
+}
+
+// parent returns the binomial-tree parent of a non-zero vrank: the vrank
+// with its highest set bit cleared.
+func parent(vr int) int {
+	return vr &^ (1 << (bits.Len(uint(vr)) - 1))
+}
+
+// children returns the binomial-tree children of vr on an n-rank tree:
+// vr | 1<<k for every k above vr's highest set bit, while < n.
+func children(vr, n int) []int {
+	var out []int
+	start := 0
+	if vr != 0 {
+		start = bits.Len(uint(vr))
+	}
+	for k := start; ; k++ {
+		ch := vr | 1<<k
+		if ch >= n {
+			break
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// BroadcastFlat sends x from rank 0 to everyone with P−1 direct sends.
+// All ranks return the broadcast vector.
+func (c *Comm) BroadcastFlat(x []float64) []float64 {
+	r := c.r
+	n := r.N()
+	if r.ID() == 0 {
+		for d := 1; d < n; d++ {
+			r.Send(d, "bc.flat", x)
+		}
+		return append([]float64(nil), x...)
+	}
+	return r.Recv("bc.flat")
+}
+
+// BroadcastTree broadcasts from rank 0 down a binomial tree: O(log P)
+// depth versus the flat variant's O(P) serialisation at the root.
+func (c *Comm) BroadcastTree(x []float64) []float64 {
+	r := c.r
+	var data []float64
+	if r.ID() == 0 {
+		data = append([]float64(nil), x...)
+	} else {
+		data = r.Recv("bc.tree")
+	}
+	for _, ch := range children(r.ID(), r.N()) {
+		r.Send(ch, "bc.tree", data)
+	}
+	return data
+}
+
+// AllreduceFlat is the naive allreduce: everyone sends its vector to rank
+// 0, which combines and broadcasts. O(P) messages serialised at the root.
+func (c *Comm) AllreduceFlat(x []float64, op Op) []float64 {
+	r := c.r
+	n := r.N()
+	m := len(x)
+	if n == 1 {
+		return append([]float64(nil), x...)
+	}
+	if r.ID() == 0 {
+		acc := append([]float64(nil), x...)
+		for src := 1; src < n; src++ {
+			in := r.Recv("ar.flat.up")
+			for i := 0; i < m; i++ {
+				acc[i] = op(acc[i], in[i])
+			}
+		}
+		r.Compute(float64((n-1)*m), float64(8*n*m)) // combining cost
+		for d := 1; d < n; d++ {
+			r.Send(d, "ar.flat.down", acc)
+		}
+		return acc
+	}
+	r.Send(0, "ar.flat.up", x)
+	return r.Recv("ar.flat.down")
+}
+
+// AllreduceRecursiveDoubling runs the O(log P) recursive-doubling
+// allreduce: each round exchanges full vectors with the rank at XOR
+// distance 2^k. The rank count must be a power of two.
+func (c *Comm) AllreduceRecursiveDoubling(x []float64, op Op) ([]float64, error) {
+	r := c.r
+	n := r.N()
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("collective: recursive doubling needs power-of-two ranks, got %d", n)
+	}
+	m := len(x)
+	acc := append([]float64(nil), x...)
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		partner := r.ID() ^ dist
+		box := fmt.Sprintf("ar.rd.%d", k)
+		r.Send(partner, box, acc)
+		in := r.Recv(box)
+		for i := 0; i < m; i++ {
+			acc[i] = op(acc[i], in[i])
+		}
+		r.Compute(float64(m), float64(16*m))
+	}
+	return acc, nil
+}
+
+// AllreduceRing runs the bandwidth-optimal ring allreduce: a reduce-scatter
+// of n−1 chunk steps followed by an allgather of n−1 chunk steps, sending
+// only 2·m·(n−1)/n elements per rank in total. Works for any rank count.
+func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
+	r := c.r
+	n := r.N()
+	m := len(x)
+	if n == 1 {
+		return append([]float64(nil), x...)
+	}
+	acc := append([]float64(nil), x...)
+	id := r.ID()
+	right := (id + 1) % n
+	// Reduce-scatter: after n−1 steps, rank i owns the full reduction of
+	// chunk (i+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (id - s + n) % n
+		recvChunk := (id - s - 1 + n) % n
+		lo, hi := chunkRange(m, n, sendChunk)
+		r.Send(right, fmt.Sprintf("ar.ring.%d", s), acc[lo:hi])
+		in := r.Recv(fmt.Sprintf("ar.ring.%d", s))
+		rlo, rhi := chunkRange(m, n, recvChunk)
+		for i := rlo; i < rhi; i++ {
+			acc[i] = op(acc[i], in[i-rlo])
+		}
+		r.Compute(float64(rhi-rlo), float64(16*(rhi-rlo)))
+	}
+	// Allgather: circulate the completed chunks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (id - s + 1 + n) % n
+		recvChunk := (id - s + n) % n
+		lo, hi := chunkRange(m, n, sendChunk)
+		r.Send(right, fmt.Sprintf("ar.ring.g%d", s), acc[lo:hi])
+		in := r.Recv(fmt.Sprintf("ar.ring.g%d", s))
+		rlo, _ := chunkRange(m, n, recvChunk)
+		copy(acc[rlo:], in)
+	}
+	return acc
+}
+
+// chunkRange partitions m elements into n nearly equal chunks and returns
+// chunk i's half-open range.
+func chunkRange(m, n, i int) (lo, hi int) {
+	base := m / n
+	rem := m % n
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+// Package core integrates the tenways library: the Lab experiment registry
+// that regenerates every table and figure of the evaluation suite, the
+// Diagnose engine that maps a measured trace breakdown to the waste modes
+// it exhibits, and the integrated stencil campaign that stacks several
+// wastes (and their remedies) into one application — the keynote's call to
+// treat the problem end to end rather than optimising components in
+// isolation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tenways/internal/trace"
+)
+
+// Advice is one matched waste mode with its evidence.
+type Advice struct {
+	ModeID   string
+	Name     string
+	Severity float64 // fraction of run wasted, in [0, 1]; higher is worse
+	Evidence string
+	Remedy   string
+}
+
+// Thresholds below which a category is considered noise rather than waste.
+const (
+	fractionThreshold  = 0.10
+	imbalanceThreshold = 0.20
+)
+
+// Diagnose inspects a measured trace breakdown and returns the waste modes
+// it exhibits, most severe first. An empty slice means the run looks
+// healthy under the trace's categories (cache- and message-level wastes
+// need the modeled plane to detect and are not visible in a wall-clock
+// trace).
+func Diagnose(b trace.Breakdown) []Advice {
+	var out []Advice
+	if f := b.Fraction(trace.SyncWait); f > fractionThreshold {
+		out = append(out, Advice{
+			ModeID:   "W3",
+			Name:     "over-synchronisation",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time waiting at synchronisation points", 100*f),
+			Remedy:   "replace global barriers with point-to-point or neighbourhood synchronisation",
+		})
+	}
+	if im := b.Imbalance(); im > imbalanceThreshold {
+		sev := im / (1 + im) // busiest/mean excess, mapped into [0,1)
+		out = append(out, Advice{
+			ModeID:   "W4",
+			Name:     "load imbalance",
+			Severity: sev,
+			Evidence: fmt.Sprintf("busiest worker carries %.0f%% more than the mean", 100*im),
+			Remedy:   "switch static partitioning to guided self-scheduling or work stealing",
+		})
+	}
+	if f := b.Fraction(trace.Serial); f > fractionThreshold {
+		out = append(out, Advice{
+			ModeID:   "W5",
+			Name:     "serialisation on shared state",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time in serial sections or critical regions", 100*f),
+			Remedy:   "shard the shared state and combine privately accumulated results",
+		})
+	}
+	if f := b.Fraction(trace.CommWait); f > fractionThreshold {
+		out = append(out, Advice{
+			ModeID:   "W6",
+			Name:     "unoverlapped communication",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time blocked on communication", 100*f),
+			Remedy:   "use split-phase operations and overlap transfers with computation; aggregate small messages",
+		})
+	}
+	if f := b.Fraction(trace.Idle); f > fractionThreshold {
+		out = append(out, Advice{
+			ModeID:   "W10",
+			Name:     "idle waste",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time idle", 100*f),
+			Remedy:   "block instead of spinning; on non-proportional hardware, consolidate work to fewer busy cores",
+		})
+	}
+	if f := b.Fraction(trace.Steal); f > fractionThreshold {
+		out = append(out, Advice{
+			ModeID:   "W7",
+			Name:     "scheduling overhead",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time in work-stealing machinery", 100*f),
+			Remedy:   "coarsen task granularity (aggregate small units of work)",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].ModeID < out[j].ModeID
+	})
+	return out
+}

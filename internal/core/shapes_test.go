@@ -1,0 +1,259 @@
+package core
+
+// Shape tests: every qualitative claim EXPERIMENTS.md makes about a table
+// or figure — who wins, what grows, where crossovers fall — is asserted
+// here against the full-size (non-Quick) experiment outputs, so the
+// documentation cannot drift from the code. These run the complete suite
+// and are skipped in -short mode.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
+
+func fullFigure(t *testing.T, id string) (*Lab, map[string][]float64, []float64) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	lab := NewLab()
+	out, err := lab.Run(id, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Figure == nil {
+		t.Fatalf("%s: no figure", id)
+	}
+	series := map[string][]float64{}
+	for _, s := range out.Figure.Series {
+		series[s.Name] = s.Ys
+	}
+	return lab, series, out.Figure.Xs
+}
+
+func monotoneNonIncreasing(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1]*(1+1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShapeF7AggregationMonotone(t *testing.T) {
+	_, s, _ := fullFigure(t, "F7")
+	secs := s["modeled-seconds"]
+	if !monotoneNonIncreasing(secs) {
+		t.Fatalf("F7 seconds not monotone: %v", secs)
+	}
+	// One-word messages must be at least 100x slower than bulk.
+	if secs[0] < 100*secs[len(secs)-1] {
+		t.Fatalf("aggregation win too small: %g vs %g", secs[0], secs[len(secs)-1])
+	}
+}
+
+func TestShapeF14RecursiveDoublingWinsAtScale(t *testing.T) {
+	_, s, xs := fullFigure(t, "F14")
+	last := len(xs) - 1
+	rd := s["recursive-doubling"][last]
+	if flat := s["flat"][last]; rd >= flat {
+		t.Fatalf("P=%g: rd (%g) should beat flat (%g)", xs[last], rd, flat)
+	}
+	if ring := s["ring"][last]; rd >= ring {
+		t.Fatalf("P=%g: rd (%g) should beat ring (%g) at this message size", xs[last], rd, ring)
+	}
+}
+
+func TestShapeF13InverseSqrtC(t *testing.T) {
+	_, s, xs := fullFigure(t, "F13")
+	words := s["words-per-proc"]
+	for i, c := range xs {
+		want := words[0] / math.Sqrt(c)
+		if math.Abs(words[i]-want) > 1e-6*want {
+			t.Fatalf("c=%g: words %g, want %g (∝1/sqrt(c))", c, words[i], want)
+		}
+	}
+	// Memory grows linearly in c.
+	mem := s["memory-GiB"]
+	if math.Abs(mem[len(mem)-1]/mem[0]-xs[len(xs)-1]/xs[0]) > 1e-6 {
+		t.Fatal("memory not ∝ c")
+	}
+}
+
+func TestShapeF16GustafsonDominates(t *testing.T) {
+	_, s, _ := fullFigure(t, "F16")
+	for name, ys := range s {
+		if !strings.HasPrefix(name, "gustafson") {
+			continue
+		}
+		am := s["amdahl"+strings.TrimPrefix(name, "gustafson")]
+		for i := range ys {
+			if ys[i] < am[i]-1e-9 {
+				t.Fatalf("%s below its Amdahl curve at index %d", name, i)
+			}
+		}
+	}
+}
+
+func TestShapeF15ChainAndFanout(t *testing.T) {
+	_, s, xs := fullFigure(t, "F15")
+	for name, ys := range s {
+		if strings.HasPrefix(name, "chain") {
+			for i, y := range ys {
+				if math.Abs(y-1) > 1e-9 {
+					t.Fatalf("chain speedup at P=%g is %g, want 1", xs[i], y)
+				}
+			}
+		}
+		if strings.HasPrefix(name, "fan-out") {
+			if last := ys[len(ys)-1]; last < 40 {
+				t.Fatalf("fan-out speedup at P=%g only %g", xs[len(xs)-1], last)
+			}
+		}
+	}
+}
+
+func TestShapeF10IdleEnergy(t *testing.T) {
+	_, s, xs := fullFigure(t, "F10")
+	spin := s["spin"]
+	block := s["block"]
+	prop := s["block-proportional"]
+	for i := range xs {
+		if spin[i] < block[i]-1e-9 || block[i] < prop[i]-1e-9 {
+			t.Fatalf("idle=%g: ordering violated: spin=%g block=%g prop=%g",
+				xs[i], spin[i], block[i], prop[i])
+		}
+	}
+	// Spin is flat (always full power); proportional falls with idleness.
+	if math.Abs(spin[0]-spin[len(spin)-1]) > 1e-9 {
+		t.Fatal("spin energy should not depend on idle fraction")
+	}
+	if prop[len(prop)-1] >= prop[0] {
+		t.Fatal("proportional energy should fall with idleness")
+	}
+}
+
+func TestShapeF11StrongScaling(t *testing.T) {
+	_, s, xs := fullFigure(t, "F11")
+	rem := s["remedied-stack"]
+	ideal := s["ideal"]
+	waste := s["wasteful-stack"]
+	for i := range xs {
+		p := xs[i]
+		if p <= 64 && rem[i] > 2*ideal[i] {
+			t.Fatalf("P=%g: remedied %g more than 2x off ideal %g", p, rem[i], ideal[i])
+		}
+		if p >= 16 && waste[i] < 3*rem[i] {
+			t.Fatalf("P=%g: wasteful (%g) should be >=3x remedied (%g)", p, waste[i], rem[i])
+		}
+	}
+}
+
+func TestShapeF3SyncCost(t *testing.T) {
+	_, s, xs := fullFigure(t, "F3")
+	global := s["global-barrier"]
+	nb := s["neighbour-sync"]
+	// Global grows with P; neighbour is ~flat after P=8.
+	if global[len(global)-1] <= global[0] {
+		t.Fatal("global barrier cost should grow with ranks")
+	}
+	growth := nb[len(nb)-1] / nb[1]
+	if growth > 1.5 {
+		t.Fatalf("neighbour sync should be ~flat, grew %gx", growth)
+	}
+	for i := range xs {
+		if xs[i] >= 16 && global[i] <= nb[i] {
+			t.Fatalf("P=%g: global (%g) should exceed neighbour (%g)", xs[i], global[i], nb[i])
+		}
+	}
+}
+
+func TestShapeF5Serialization(t *testing.T) {
+	_, s, xs := fullFigure(t, "F5")
+	locked := s["global-lock"]
+	sharded := s["sharded"]
+	// Locked throughput is flat in cores; sharded scales ~linearly.
+	if math.Abs(locked[len(locked)-1]/locked[0]-1) > 0.01 {
+		t.Fatal("locked throughput should not scale")
+	}
+	gain := sharded[len(sharded)-1] / sharded[0]
+	wantGain := xs[len(xs)-1] / xs[0]
+	if gain < 0.8*wantGain {
+		t.Fatalf("sharded should scale ~linearly: gained %gx over %gx cores", gain, wantGain)
+	}
+}
+
+func TestShapeF2LinearInResendFactor(t *testing.T) {
+	_, s, xs := fullFigure(t, "F2")
+	wire := s["wire-MiB"]
+	for i := range xs {
+		want := wire[0] * xs[i] / xs[0]
+		if math.Abs(wire[i]-want) > 0.02*want {
+			t.Fatalf("factor %g: wire %g, want ~%g (linear)", xs[i], wire[i], want)
+		}
+	}
+}
+
+func TestShapeF17PrefetchEnergyNotSaved(t *testing.T) {
+	_, s, xs := fullFigure(t, "F17")
+	tOff := s["seconds-no-prefetch"]
+	tOn := s["seconds-prefetch"]
+	eOff := s["joules-no-prefetch"]
+	eOn := s["joules-prefetch"]
+	// Sequential (stride 8): prefetch must cut time substantially.
+	if tOn[0] > 0.5*tOff[0] {
+		t.Fatalf("prefetch too weak on sequential scan: %g vs %g", tOn[0], tOff[0])
+	}
+	for i := range xs {
+		if eOn[i] < eOff[i]-1e-12 {
+			t.Fatalf("stride %g: prefetch cannot reduce energy (%g < %g)", xs[i], eOn[i], eOff[i])
+		}
+	}
+	// Large strides defeat a next-line prefetcher and waste fetches.
+	last := len(xs) - 1
+	if eOn[last] < 1.5*eOff[last] {
+		t.Fatalf("defeated prefetcher should waste energy: %g vs %g", eOn[last], eOff[last])
+	}
+}
+
+func TestShapeF19SStepWinsAtScale(t *testing.T) {
+	_, s, xs := fullFigure(t, "F19")
+	std := s["standard-cg"]
+	ca := s["s-step-cg-s4"]
+	last := len(xs) - 1
+	if ca[last] >= std[last] {
+		t.Fatalf("P=%g: s-step (%g) should beat standard (%g)", xs[last], ca[last], std[last])
+	}
+}
+
+func TestShapeT5ImprovementEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out, err := NewLab().Run("T5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, row := range out.Table.Rows {
+		if row[1] != "remedied" {
+			continue
+		}
+		cell := strings.TrimSuffix(row[6], "x")
+		var f float64
+		if _, err := fmtSscan(cell, &f); err != nil {
+			t.Fatalf("bad improvement cell %q", row[6])
+		}
+		if f < 2 {
+			t.Fatalf("%s: steps/J improvement only %gx", row[0], f)
+		}
+		improved++
+	}
+	if improved != 4 {
+		t.Fatalf("expected 4 remedied rows, got %d", improved)
+	}
+}

@@ -1,0 +1,241 @@
+// Package dag models task graphs with work–span analysis and greedy list
+// scheduling. The keynote's load-imbalance and serialisation arguments are
+// both special cases of the work–span view: a chain has span == work (no
+// parallelism to waste), a flat fan-out has span == one task (everything to
+// waste), and real applications sit between. The F15 experiment schedules
+// representative shapes and compares the achieved makespan with Brent's
+// bound.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DAG is a directed acyclic graph of weighted tasks. Edges point from
+// prerequisite to dependent.
+type DAG struct {
+	costs []float64
+	succ  [][]int
+	pred  [][]int
+}
+
+// New returns an empty DAG.
+func New() *DAG { return &DAG{} }
+
+// AddTask adds a task with the given cost (seconds) and returns its id.
+// Negative costs are clamped to 0.
+func (d *DAG) AddTask(cost float64) int {
+	if cost < 0 {
+		cost = 0
+	}
+	d.costs = append(d.costs, cost)
+	d.succ = append(d.succ, nil)
+	d.pred = append(d.pred, nil)
+	return len(d.costs) - 1
+}
+
+// AddDep records that `from` must complete before `to` starts.
+func (d *DAG) AddDep(from, to int) error {
+	n := len(d.costs)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("dag: edge %d->%d out of range [0,%d)", from, to, n)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self edge on %d", from)
+	}
+	d.succ[from] = append(d.succ[from], to)
+	d.pred[to] = append(d.pred[to], from)
+	return nil
+}
+
+// N returns the task count.
+func (d *DAG) N() int { return len(d.costs) }
+
+// Cost returns task id's cost.
+func (d *DAG) Cost(id int) float64 { return d.costs[id] }
+
+// ErrCyclic reports that the graph has a cycle.
+var ErrCyclic = errors.New("dag: graph is cyclic")
+
+// TopoOrder returns a topological order (Kahn's algorithm, smallest id
+// first for determinism) or ErrCyclic.
+func (d *DAG) TopoOrder() ([]int, error) {
+	n := d.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(d.pred[v])
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, s := range d.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// Work returns the total task cost T_1.
+func (d *DAG) Work() float64 {
+	w := 0.0
+	for _, c := range d.costs {
+		w += c
+	}
+	return w
+}
+
+// Span returns the critical-path cost T_inf, or an error on a cycle.
+func (d *DAG) Span() (float64, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]float64, d.N())
+	span := 0.0
+	for _, v := range order {
+		start := 0.0
+		for _, p := range d.pred[v] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[v] = start + d.costs[v]
+		if finish[v] > span {
+			span = finish[v]
+		}
+	}
+	return span, nil
+}
+
+// Parallelism returns Work/Span, or an error on a cycle.
+func (d *DAG) Parallelism() (float64, error) {
+	s, err := d.Span()
+	if err != nil {
+		return 0, err
+	}
+	if s == 0 {
+		return 0, nil
+	}
+	return d.Work() / s, nil
+}
+
+// Schedule is the result of list-scheduling a DAG on p workers.
+type Schedule struct {
+	Makespan float64
+	Start    []float64 // per task
+	Worker   []int     // per task
+	Busy     []float64 // per worker
+}
+
+// Efficiency returns Work / (p × makespan).
+func (s Schedule) Efficiency(work float64) float64 {
+	if s.Makespan == 0 || len(s.Busy) == 0 {
+		return 0
+	}
+	return work / (float64(len(s.Busy)) * s.Makespan)
+}
+
+// ScheduleGreedy list-schedules the DAG on p workers: whenever a worker is
+// free and a task is ready, the earliest-ready task (ties by id) starts on
+// the earliest-free worker. The result respects all dependencies and is
+// deterministic. Greedy scheduling satisfies Brent's bound
+// makespan <= Work/p + Span.
+func (d *DAG) ScheduleGreedy(p int) (Schedule, error) {
+	if p < 1 {
+		p = 1
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return Schedule{}, err
+	}
+	n := d.N()
+	s := Schedule{
+		Start:  make([]float64, n),
+		Worker: make([]int, n),
+		Busy:   make([]float64, p),
+	}
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(d.pred[v])
+	}
+	free := make([]float64, p)
+	finish := make([]float64, n)
+
+	// ready holds runnable tasks; scheduled counts progress.
+	type readyTask struct {
+		at float64
+		id int
+	}
+	var ready []readyTask
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, readyTask{0, v})
+		}
+	}
+	scheduled := 0
+	for scheduled < n {
+		if len(ready) == 0 {
+			return Schedule{}, ErrCyclic
+		}
+		// Earliest-ready task, ties by id.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i].at < ready[best].at ||
+				(ready[i].at == ready[best].at && ready[i].id < ready[best].id) {
+				best = i
+			}
+		}
+		task := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		// Earliest-free worker.
+		w := 0
+		for i := 1; i < p; i++ {
+			if free[i] < free[w] {
+				w = i
+			}
+		}
+		start := task.at
+		if free[w] > start {
+			start = free[w]
+		}
+		s.Start[task.id] = start
+		s.Worker[task.id] = w
+		end := start + d.costs[task.id]
+		free[w] = end
+		finish[task.id] = end
+		s.Busy[w] += d.costs[task.id]
+		if end > s.Makespan {
+			s.Makespan = end
+		}
+		scheduled++
+		for _, nx := range d.succ[task.id] {
+			indeg[nx]--
+			if indeg[nx] == 0 {
+				at := 0.0
+				for _, pr := range d.pred[nx] {
+					if finish[pr] > at {
+						at = finish[pr]
+					}
+				}
+				ready = append(ready, readyTask{at, nx})
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,256 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChainWorkSpan(t *testing.T) {
+	d := Chain(10, 2)
+	if d.Work() != 20 {
+		t.Fatalf("work = %g", d.Work())
+	}
+	span, err := d.Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 20 {
+		t.Fatalf("span = %g", span)
+	}
+	par, err := d.Parallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != 1 {
+		t.Fatalf("chain parallelism = %g", par)
+	}
+}
+
+func TestFanOutWorkSpan(t *testing.T) {
+	d := FanOut(8, 1)
+	if d.Work() != 10 { // root + 8 + join
+		t.Fatalf("work = %g", d.Work())
+	}
+	span, err := d.Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3 {
+		t.Fatalf("span = %g", span)
+	}
+}
+
+func TestForkJoinSpan(t *testing.T) {
+	d := ForkJoin(3, 4, 1)
+	// root + 3 levels of (mid + join): span = 1 + 3*2 = 7.
+	span, err := d.Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 7 {
+		t.Fatalf("span = %g", span)
+	}
+	if d.Work() != float64(1+3*(4+1)) {
+		t.Fatalf("work = %g", d.Work())
+	}
+}
+
+func TestAddDepValidation(t *testing.T) {
+	d := New()
+	a := d.AddTask(1)
+	if err := d.AddDep(a, a); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if err := d.AddDep(a, 99); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if d.AddTask(-5); d.Cost(1) != 0 {
+		t.Fatal("negative cost not clamped")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	d := New()
+	a := d.AddTask(1)
+	b := d.AddTask(1)
+	if err := d.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDep(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TopoOrder(); err != ErrCyclic {
+		t.Fatalf("expected ErrCyclic, got %v", err)
+	}
+	if _, err := d.Span(); err == nil {
+		t.Fatal("span on cyclic graph should fail")
+	}
+	if _, err := d.ScheduleGreedy(2); err == nil {
+		t.Fatal("schedule on cyclic graph should fail")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	d := RandomLayered(1, 5, 6, 0.8)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, d.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < d.N(); v++ {
+		for _, s := range d.succ[v] {
+			if pos[s] <= pos[v] {
+				t.Fatalf("edge %d->%d violated in topo order", v, s)
+			}
+		}
+	}
+}
+
+func TestScheduleRespectsDependencies(t *testing.T) {
+	d := RandomLayered(7, 6, 8, 1.0)
+	s, err := d.ScheduleGreedy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d.N(); v++ {
+		for _, nx := range d.succ[v] {
+			if s.Start[nx]+1e-12 < s.Start[v]+d.Cost(v) {
+				t.Fatalf("task %d starts at %g before dep %d finishes at %g",
+					nx, s.Start[nx], v, s.Start[v]+d.Cost(v))
+			}
+		}
+	}
+	// No worker runs two tasks at once.
+	for a := 0; a < d.N(); a++ {
+		for b := a + 1; b < d.N(); b++ {
+			if s.Worker[a] != s.Worker[b] {
+				continue
+			}
+			aEnd := s.Start[a] + d.Cost(a)
+			bEnd := s.Start[b] + d.Cost(b)
+			if s.Start[a] < bEnd-1e-12 && s.Start[b] < aEnd-1e-12 {
+				t.Fatalf("tasks %d and %d overlap on worker %d", a, b, s.Worker[a])
+			}
+		}
+	}
+}
+
+func TestScheduleBrentBound(t *testing.T) {
+	for _, build := range []func() *DAG{
+		func() *DAG { return Chain(20, 1e-3) },
+		func() *DAG { return FanOut(32, 1e-3) },
+		func() *DAG { return ForkJoin(4, 8, 1e-3) },
+		func() *DAG { return RandomLayered(3, 8, 8, 1.2) },
+	} {
+		d := build()
+		span, err := d.Span()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 16} {
+			s, err := d.ScheduleGreedy(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := d.Work()/float64(p) + span
+			if s.Makespan > bound+1e-9 {
+				t.Fatalf("p=%d: makespan %g exceeds Brent bound %g", p, s.Makespan, bound)
+			}
+			if s.Makespan+1e-12 < span {
+				t.Fatalf("p=%d: makespan %g below span %g", p, s.Makespan, span)
+			}
+			if s.Makespan+1e-12 < d.Work()/float64(p) {
+				t.Fatalf("p=%d: makespan %g below work/p", p, s.Makespan)
+			}
+		}
+	}
+}
+
+func TestChainGainsNothingFromProcessors(t *testing.T) {
+	d := Chain(50, 1e-3)
+	s1, _ := d.ScheduleGreedy(1)
+	s8, _ := d.ScheduleGreedy(8)
+	if math.Abs(s1.Makespan-s8.Makespan) > 1e-12 {
+		t.Fatalf("chain sped up: %g vs %g", s1.Makespan, s8.Makespan)
+	}
+}
+
+func TestFanOutScalesToWidth(t *testing.T) {
+	d := FanOut(64, 1e-3)
+	s1, _ := d.ScheduleGreedy(1)
+	s16, _ := d.ScheduleGreedy(16)
+	if speedup := s1.Makespan / s16.Makespan; speedup < 8 {
+		t.Fatalf("fan-out speedup only %g on 16 workers", speedup)
+	}
+}
+
+func TestScheduleOnOneWorkerEqualsWork(t *testing.T) {
+	d := RandomLayered(9, 4, 4, 0.5)
+	s, err := d.ScheduleGreedy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-d.Work()) > 1e-9 {
+		t.Fatalf("1-worker makespan %g != work %g", s.Makespan, d.Work())
+	}
+	if e := s.Efficiency(d.Work()); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("1-worker efficiency = %g", e)
+	}
+}
+
+func TestEfficiencyEdgeCases(t *testing.T) {
+	if (Schedule{}).Efficiency(10) != 0 {
+		t.Fatal("empty schedule efficiency should be 0")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, _ := RandomLayered(11, 6, 6, 1.0).ScheduleGreedy(4)
+	b, _ := RandomLayered(11, 6, 6, 1.0).ScheduleGreedy(4)
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic: %g vs %g", a.Makespan, b.Makespan)
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] || a.Worker[i] != b.Worker[i] {
+			t.Fatal("schedules differ")
+		}
+	}
+}
+
+// Property: for random layered DAGs, Brent's bound holds at every p and
+// the makespan is monotone non-increasing in p.
+func TestBrentBoundProperty(t *testing.T) {
+	f := func(seed uint64, layersRaw, widthRaw uint8) bool {
+		layers := int(layersRaw)%5 + 1
+		width := int(widthRaw)%5 + 1
+		d := RandomLayered(seed, layers, width, 1.0)
+		span, err := d.Span()
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, p := range []int{1, 2, 4, 8} {
+			s, err := d.ScheduleGreedy(p)
+			if err != nil {
+				return false
+			}
+			if s.Makespan > d.Work()/float64(p)+span+1e-9 {
+				return false
+			}
+			// Greedy list scheduling is not strictly monotone in p in
+			// general, but within 2x it must be (both are within Brent).
+			if s.Makespan > 2*prev {
+				return false
+			}
+			prev = s.Makespan
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package dag
+
+import "tenways/internal/workload"
+
+// Chain builds a linear chain of n tasks of the given cost: span == work,
+// parallelism 1 — nothing for extra processors to do.
+func Chain(n int, cost float64) *DAG {
+	d := New()
+	prev := -1
+	for i := 0; i < n; i++ {
+		id := d.AddTask(cost)
+		if prev >= 0 {
+			// A chain construction cannot fail.
+			if err := d.AddDep(prev, id); err != nil {
+				panic(err)
+			}
+		}
+		prev = id
+	}
+	return d
+}
+
+// FanOut builds a root, n independent middle tasks, and a join: span is
+// three tasks, parallelism ≈ n — the embarrassingly parallel shape.
+func FanOut(n int, cost float64) *DAG {
+	d := New()
+	root := d.AddTask(cost)
+	join := -1
+	mids := make([]int, n)
+	for i := 0; i < n; i++ {
+		mids[i] = d.AddTask(cost)
+		mustDep(d, root, mids[i])
+	}
+	join = d.AddTask(cost)
+	for _, m := range mids {
+		mustDep(d, m, join)
+	}
+	return d
+}
+
+// ForkJoin builds `levels` alternating fork/join levels of the given
+// width — the bulk-synchronous shape with a barrier-like join per level.
+func ForkJoin(levels, width int, cost float64) *DAG {
+	d := New()
+	prevJoin := d.AddTask(cost)
+	for l := 0; l < levels; l++ {
+		join := -1
+		mids := make([]int, width)
+		for i := 0; i < width; i++ {
+			mids[i] = d.AddTask(cost)
+			mustDep(d, prevJoin, mids[i])
+		}
+		join = d.AddTask(cost)
+		for _, m := range mids {
+			mustDep(d, m, join)
+		}
+		prevJoin = join
+	}
+	return d
+}
+
+// RandomLayered builds a layered random DAG: `layers` levels of `width`
+// tasks with Zipf-skewed costs; each task depends on 1–3 random tasks of
+// the previous layer. Deterministic for a given seed.
+func RandomLayered(seed uint64, layers, width int, skew float64) *DAG {
+	rng := workload.NewRand(seed)
+	costs := workload.NewTaskDist(seed).Zipf(layers*width, skew, 1e-3)
+	d := New()
+	prev := make([]int, 0, width)
+	ci := 0
+	for l := 0; l < layers; l++ {
+		cur := make([]int, width)
+		for i := 0; i < width; i++ {
+			cur[i] = d.AddTask(costs[ci])
+			ci++
+			if l > 0 {
+				deps := rng.Intn(3) + 1
+				for k := 0; k < deps; k++ {
+					mustDep(d, prev[rng.Intn(len(prev))], cur[i])
+				}
+			}
+		}
+		prev = cur
+	}
+	return d
+}
+
+// mustDep adds a dependency produced by a generator, which by construction
+// cannot be invalid.
+func mustDep(d *DAG, from, to int) {
+	if err := d.AddDep(from, to); err != nil {
+		panic(err)
+	}
+}

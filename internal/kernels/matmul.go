@@ -1,0 +1,169 @@
+// Package kernels implements the scientific computing kernels the keynote
+// draws its examples from — dense and sparse linear algebra, stencils,
+// STREAM, FFT, n-body, sorting, graph traversal, Monte Carlo — each in a
+// wasteful and a remedied form where the contrast matters, together with
+// analytic operation counts (flops, DRAM bytes, communication volume) that
+// feed the modeled experiments, and trace-driven variants that drive the
+// cache simulator.
+package kernels
+
+import (
+	"math"
+
+	"tenways/internal/mem"
+	"tenways/internal/sched"
+)
+
+// MatMulNaive computes C = A·B for n×n row-major matrices with the classic
+// triple loop in ijk order — the no-locality baseline (W1): the B column
+// walk strides by n doubles per step.
+func MatMulNaive(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// MatMulBlocked computes C = A·B with square cache blocking of the given
+// block size — the remedied W1 form: each block triple fits in cache, so
+// every element is fetched from DRAM O(n/block) instead of O(n) times.
+func MatMulBlocked(c, a, b []float64, n, block int) {
+	if block < 1 || block > n {
+		block = n
+	}
+	for i := range c[:n*n] {
+		c[i] = 0
+	}
+	for ii := 0; ii < n; ii += block {
+		for kk := 0; kk < n; kk += block {
+			for jj := 0; jj < n; jj += block {
+				iMax := min(ii+block, n)
+				kMax := min(kk+block, n)
+				jMax := min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a[i*n+k]
+						ci := c[i*n+jj : i*n+jMax]
+						bk := b[k*n+jj : k*n+jMax]
+						for j := range ci {
+							ci[j] += aik * bk[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulParallel computes C = A·B with rows distributed over the pool and
+// inner blocking for locality.
+func MatMulParallel(p *sched.Pool, c, a, b []float64, n, block int) {
+	if block < 1 || block > n {
+		block = 64
+	}
+	p.ForEachChunked(n, block, func(i int) {
+		for j := 0; j < n; j++ {
+			c[i*n+j] = 0
+		}
+		for kk := 0; kk < n; kk += block {
+			kMax := min(kk+block, n)
+			for k := kk; k < kMax; k++ {
+				aik := a[i*n+k]
+				ci := c[i*n : i*n+n]
+				bk := b[k*n : k*n+n]
+				for j := range ci {
+					ci[j] += aik * bk[j]
+				}
+			}
+		}
+	})
+}
+
+// MatMulFlops returns the flop count of an n×n matmul (2n³).
+func MatMulFlops(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }
+
+// MatMulTraced replays the address stream of C = A·B (blocked with the
+// given block size; block >= n degenerates to naive ijk) against a cache
+// hierarchy, without computing values. It is the trace source for the F1
+// blocking figure. Matrices are laid out contiguously: A at 0, B at n²·8,
+// C at 2n²·8.
+func MatMulTraced(h *mem.Hierarchy, n, block int) {
+	if block < 1 || block > n {
+		block = n
+	}
+	aBase := uint64(0)
+	bBase := uint64(n*n) * 8
+	cBase := uint64(2*n*n) * 8
+	addr := func(base uint64, i, j int) uint64 { return base + uint64(i*n+j)*8 }
+	for ii := 0; ii < n; ii += block {
+		for kk := 0; kk < n; kk += block {
+			for jj := 0; jj < n; jj += block {
+				iMax := min(ii+block, n)
+				kMax := min(kk+block, n)
+				jMax := min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						h.Read(0, addr(aBase, i, k), 8)
+						for j := jj; j < jMax; j++ {
+							h.Read(0, addr(bBase, k, j), 8)
+							h.Read(0, addr(cBase, i, j), 8)
+							h.Write(0, addr(cBase, i, j), 8)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// CommAvoidingMatMul models the per-processor communication of parallel
+// dense matmul on p processors with replication factor c (the 2.5D
+// algorithm; c=1 is SUMMA/Cannon). Returned volumes are in words moved per
+// processor; the memory multiplier reports the c× extra storage the
+// replication costs — the communication/memory trade-off of
+// communication-avoiding algorithms (F13, W2 remedy).
+type CommAvoidingMatMul struct {
+	N int // matrix dimension
+	P int // processors
+	C int // replication factor, 1 <= c <= p^(1/3)
+}
+
+// WordsPerProc returns the communication volume per processor in words:
+// O(n² / sqrt(c·p)), the Ballard–Demmel–Holtz–Schwartz bound shape.
+func (m CommAvoidingMatMul) WordsPerProc() float64 {
+	n := float64(m.N)
+	return 2 * n * n / math.Sqrt(float64(m.C)*float64(m.P))
+}
+
+// MessagesPerProc returns the per-processor message count:
+// O(sqrt(p/c³)) + log(c).
+func (m CommAvoidingMatMul) MessagesPerProc() float64 {
+	return math.Sqrt(float64(m.P)/math.Pow(float64(m.C), 3)) + math.Log2(float64(m.C)+1)
+}
+
+// MemoryPerProcWords returns per-processor storage in words: 3cn²/p.
+func (m CommAvoidingMatMul) MemoryPerProcWords() float64 {
+	n := float64(m.N)
+	return 3 * float64(m.C) * n * n / float64(m.P)
+}
+
+// MaxReplication returns the largest useful c for p processors: p^(1/3).
+func MaxReplication(p int) int {
+	c := int(math.Cbrt(float64(p)))
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,42 @@
+package kernels
+
+import (
+	"sync"
+
+	"tenways/internal/workload"
+)
+
+// MonteCarloPi estimates π with n dart throws using nw workers, each with
+// its own PRNG stream (the remedied form: no shared state at all). The
+// wasteful forms — a shared locked counter, adjacent per-worker counters on
+// one cache line — live in the W5/W9 experiments; this is the kernel they
+// are compared against.
+func MonteCarloPi(n, nw int, seed uint64) float64 {
+	if nw < 1 {
+		nw = 1
+	}
+	counts := make([]int64, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRand(seed + uint64(w)*0x9e37)
+			local := int64(0)
+			for i := w; i < n; i += nw {
+				x := rng.Float64()
+				y := rng.Float64()
+				if x*x+y*y < 1 {
+					local++
+				}
+			}
+			counts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	return 4 * float64(total) / float64(n)
+}

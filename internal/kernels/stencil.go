@@ -1,0 +1,94 @@
+package kernels
+
+import "tenways/internal/sched"
+
+// Jacobi2DStep applies one 5-point Jacobi relaxation sweep on an
+// (n+2)×(n+2) grid (one-cell halo), reading src and writing dst interior
+// points: dst[i][j] = (src up + down + left + right) / 4.
+func Jacobi2DStep(dst, src []float64, n int) {
+	w := n + 2
+	for i := 1; i <= n; i++ {
+		row := i * w
+		for j := 1; j <= n; j++ {
+			dst[row+j] = 0.25 * (src[row+j-1] + src[row+j+1] + src[row-w+j] + src[row+w+j])
+		}
+	}
+}
+
+// Jacobi2DParallel runs one sweep with rows distributed over the pool.
+func Jacobi2DParallel(p *sched.Pool, dst, src []float64, n int) {
+	w := n + 2
+	p.ForEachChunked(n, 16, func(r int) {
+		i := r + 1
+		row := i * w
+		for j := 1; j <= n; j++ {
+			dst[row+j] = 0.25 * (src[row+j-1] + src[row+j+1] + src[row-w+j] + src[row+w+j])
+		}
+	})
+}
+
+// Jacobi2DFlops returns the flop count of one sweep over an n×n interior
+// (3 adds + 1 multiply per point).
+func Jacobi2DFlops(n int) float64 { return 4 * float64(n) * float64(n) }
+
+// Jacobi2DBytes returns the streaming DRAM bytes of one sweep when the
+// grid does not fit in cache: read src once, write dst once.
+func Jacobi2DBytes(n int) float64 { return 16 * float64(n+2) * float64(n+2) }
+
+// HaloModel describes the per-step communication of a 1-D row-block
+// decomposition of an n×n Jacobi grid over p ranks.
+type HaloModel struct {
+	N int // interior grid dimension
+	P int // ranks
+}
+
+// RowsPerRank returns the interior rows owned by one rank (ceiling).
+func (h HaloModel) RowsPerRank() int { return (h.N + h.P - 1) / h.P }
+
+// HaloWords returns the words exchanged per rank per step with the
+// remedied protocol: one row up, one row down.
+func (h HaloModel) HaloWords() int {
+	if h.P == 1 {
+		return 0
+	}
+	return 2 * h.N
+}
+
+// WastefulWords returns the words exchanged per rank per step by the W2
+// anti-pattern that re-fetches the full neighbour block instead of just
+// the boundary row.
+func (h HaloModel) WastefulWords() int {
+	if h.P == 1 {
+		return 0
+	}
+	return 2 * h.N * h.RowsPerRank()
+}
+
+// StepFlopsPerRank returns the per-rank flops of one sweep.
+func (h HaloModel) StepFlopsPerRank() float64 {
+	return 4 * float64(h.RowsPerRank()) * float64(h.N)
+}
+
+// StepBytesPerRank returns the per-rank streaming DRAM bytes of one sweep.
+func (h HaloModel) StepBytesPerRank() float64 {
+	return 16 * float64(h.RowsPerRank()+2) * float64(h.N+2)
+}
+
+// Jacobi3DStep applies one 7-point sweep on an (n+2)³ grid.
+func Jacobi3DStep(dst, src []float64, n int) {
+	w := n + 2
+	plane := w * w
+	inv6 := 1.0 / 6.0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			base := i*plane + j*w
+			for k := 1; k <= n; k++ {
+				c := base + k
+				dst[c] = inv6 * (src[c-1] + src[c+1] + src[c-w] + src[c+w] + src[c-plane] + src[c+plane])
+			}
+		}
+	}
+}
+
+// Jacobi3DFlops returns the flop count of one 3-D sweep (5 adds + 1 mul).
+func Jacobi3DFlops(n int) float64 { return 6 * float64(n) * float64(n) * float64(n) }

@@ -1,0 +1,60 @@
+package kernels
+
+import "tenways/internal/mem"
+
+// TransposeNaive writes dst = srcᵀ for n×n row-major matrices with the
+// textbook double loop: one of the two matrices is necessarily walked
+// column-wise, touching a new cache line every element once n exceeds the
+// cache — the purest W1 kernel after matmul.
+func TransposeNaive(dst, src []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst[j*n+i] = src[i*n+j]
+		}
+	}
+}
+
+// TransposeBlocked transposes in block×block tiles so both matrices stay
+// cache-resident within a tile.
+func TransposeBlocked(dst, src []float64, n, block int) {
+	if block < 1 || block > n {
+		block = n
+	}
+	for ii := 0; ii < n; ii += block {
+		for jj := 0; jj < n; jj += block {
+			iMax := min(ii+block, n)
+			jMax := min(jj+block, n)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					dst[j*n+i] = src[i*n+j]
+				}
+			}
+		}
+	}
+}
+
+// TransposeTraced replays the blocked transpose's address stream against a
+// cache hierarchy (block >= n degenerates to naive). Matrices: src at 0,
+// dst at n²·8.
+func TransposeTraced(h *mem.Hierarchy, n, block int) {
+	if block < 1 || block > n {
+		block = n
+	}
+	dstBase := uint64(n*n) * 8
+	for ii := 0; ii < n; ii += block {
+		for jj := 0; jj < n; jj += block {
+			iMax := min(ii+block, n)
+			jMax := min(jj+block, n)
+			for i := ii; i < iMax; i++ {
+				for j := jj; j < jMax; j++ {
+					h.Read(0, uint64(i*n+j)*8, 8)
+					h.Write(0, dstBase+uint64(j*n+i)*8, 8)
+				}
+			}
+		}
+	}
+}
+
+// TransposeBytesIdeal returns the compulsory DRAM traffic of an n×n
+// transpose: read src once, write dst once.
+func TransposeBytesIdeal(n int) float64 { return 16 * float64(n) * float64(n) }

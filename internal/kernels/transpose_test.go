@@ -1,0 +1,85 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tenways/internal/machine"
+	"tenways/internal/mem"
+	"tenways/internal/workload"
+)
+
+func TestTransposeCorrect(t *testing.T) {
+	n := 17
+	src := randMat(4, n)
+	for _, block := range []int{1, 4, 8, 17, 64} {
+		dst := make([]float64, n*n)
+		TransposeBlocked(dst, src, n, block)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dst[j*n+i] != src[i*n+j] {
+					t.Fatalf("block %d: (%d,%d) wrong", block, i, j)
+				}
+			}
+		}
+	}
+	naive := make([]float64, n*n)
+	TransposeNaive(naive, src, n)
+	blocked := make([]float64, n*n)
+	TransposeBlocked(blocked, src, n, 4)
+	for i := range naive {
+		if naive[i] != blocked[i] {
+			t.Fatal("naive and blocked disagree")
+		}
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		rng := workload.NewRand(seed)
+		src := make([]float64, n*n)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		once := make([]float64, n*n)
+		twice := make([]float64, n*n)
+		TransposeBlocked(once, src, n, 4)
+		TransposeBlocked(twice, once, n, 4)
+		for i := range src {
+			if twice[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeTracedBlockingHelps(t *testing.T) {
+	n := 128
+	spec := machine.Laptop2009()
+	spec.Levels = []machine.LevelSpec{
+		{Name: "L1", CapacityBytes: 4 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 4, PJPerByte: 0.6},
+		{Name: "LLC", CapacityBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyCycles: 14, PJPerByte: 2, Shared: true},
+	}
+	run := func(block int) int64 {
+		h, err := mem.NewHierarchy(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		TransposeTraced(h, n, block)
+		return h.Stats().DRAMBytes
+	}
+	naive := run(n)
+	blocked := run(8)
+	if blocked >= naive {
+		t.Fatalf("blocked transpose traffic %d should be below naive %d", blocked, naive)
+	}
+	// Blocked should be within 3x of compulsory traffic.
+	if float64(blocked) > 3*TransposeBytesIdeal(n) {
+		t.Fatalf("blocked traffic %d too far above ideal %g", blocked, TransposeBytesIdeal(n))
+	}
+}

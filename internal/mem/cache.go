@@ -1,0 +1,625 @@
+// Package mem implements a trace-driven multi-level cache hierarchy
+// simulator: per-core private levels, shared last-level cache, DRAM, LRU
+// replacement, write-back write-allocate, and a MESI-style invalidation
+// protocol between cores' private hierarchies so that coherence traffic
+// (including false sharing) is observable.
+//
+// The simulator is functional, not timing-pipelined: each Access returns the
+// cycles the access would take and accounts the bytes moved at every level,
+// which is exactly the information the W1 (locality) and W9 (false sharing)
+// experiments and their energy models need.
+package mem
+
+import (
+	"fmt"
+
+	"tenways/internal/energy"
+	"tenways/internal/machine"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// cache is one set-associative cache instance.
+type cache struct {
+	spec    machine.LevelSpec
+	sets    [][]line
+	setMask uint64
+	tick    uint64 // LRU clock, monotone per cache
+
+	Hits       int64
+	Misses     int64
+	BytesIn    int64 // bytes filled into this cache
+	Writebacks int64 // dirty lines written back out of this cache
+}
+
+func newCache(spec machine.LevelSpec) *cache {
+	nLines := spec.CapacityBytes / int64(spec.LineBytes)
+	nSets := nLines / int64(spec.Assoc)
+	c := &cache{spec: spec, setMask: uint64(nSets - 1)}
+	if nSets&(nSets-1) != 0 {
+		// Non-power-of-two set counts index by modulo; mask stays unused.
+		c.setMask = 0
+	}
+	c.sets = make([][]line, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, spec.Assoc)
+	}
+	return c
+}
+
+func (c *cache) index(lineAddr uint64) uint64 {
+	if c.setMask != 0 {
+		return lineAddr & c.setMask
+	}
+	return lineAddr % uint64(len(c.sets))
+}
+
+// lookup probes for the line; on hit it refreshes LRU and returns the way.
+func (c *cache) lookup(lineAddr uint64) (*line, bool) {
+	set := c.sets[c.index(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.tick++
+			set[i].lastUse = c.tick
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// fill inserts the line, evicting LRU if needed. It returns the evicted
+// line's address and whether the victim was dirty (needing writeback);
+// evictedValid is false when an empty way was used.
+func (c *cache) fill(lineAddr uint64, dirty bool) (evicted uint64, evictedDirty, evictedValid bool) {
+	set := c.sets[c.index(lineAddr)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			evictedValid = false
+			goto place
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	evicted = set[victim].tag
+	evictedDirty = set[victim].dirty
+	evictedValid = true
+place:
+	c.tick++
+	set[victim] = line{tag: lineAddr, valid: true, dirty: dirty, lastUse: c.tick}
+	c.BytesIn += int64(c.spec.LineBytes)
+	if evictedValid && evictedDirty {
+		c.Writebacks++
+	}
+	return evicted, evictedDirty, evictedValid
+}
+
+// invalidate removes the line if present; it returns whether it was present
+// and whether it was dirty.
+func (c *cache) invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.sets[c.index(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			d := set[i].dirty
+			set[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// markDirty sets the dirty bit if the line is present.
+func (c *cache) markDirty(lineAddr uint64) {
+	if l, ok := c.lookup(lineAddr); ok {
+		l.dirty = true
+	}
+}
+
+// clean clears the dirty bit if present (after a coherence downgrade).
+func (c *cache) clean(lineAddr uint64) {
+	if l, ok := c.lookup(lineAddr); ok {
+		l.dirty = false
+	}
+}
+
+// dirEntry is the directory's view of one line across private hierarchies.
+type dirEntry struct {
+	sharers  uint64 // bitmask of cores holding the line privately
+	owner    int    // core with the modified copy, valid iff modified
+	modified bool
+}
+
+// Stats aggregates hierarchy activity.
+type Stats struct {
+	LevelHits       []int64 // per configured level (private levels summed over cores)
+	LevelMisses     []int64
+	LevelBytesIn    []int64
+	DRAMAccesses    int64
+	DRAMBytes       int64 // bytes moved to/from DRAM (fills + writebacks)
+	Invalidations   int64 // coherence invalidation events
+	CacheTransfers  int64 // cache-to-cache interventions
+	CoherenceBytes  int64 // bytes moved core-to-core by coherence
+	WritebackBytes  int64 // dirty bytes written back to DRAM
+	Prefetches      int64 // prefetch fills issued
+	PrefetchBytes   int64 // DRAM bytes moved by prefetches (also in DRAMBytes)
+	LocalDRAMBytes  int64 // NUMA-local DRAM bytes (when NUMA accounting is on)
+	RemoteDRAMBytes int64 // NUMA-remote DRAM bytes
+	AccessCount     int64
+	TotalCycles     float64
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	spec    *machine.Spec
+	cores   int
+	private [][]*cache // [core][privateLevel]
+	shared  []*cache   // shared levels in order
+	privIdx []int      // indices into spec.Levels for private levels
+	shIdx   []int      // indices into spec.Levels for shared levels
+	dir     map[uint64]*dirEntry
+	stats   Stats
+	line    uint64 // line size in bytes (uniform across levels)
+
+	prefetchOn bool
+	prefetched map[uint64]bool // lines resident due to an un-consumed prefetch
+
+	numaOn     bool
+	placement  Placement
+	firstTouch map[uint64]int // page -> home domain, first-touch policy
+}
+
+// EnablePrefetch turns on a next-line prefetcher: every demand miss to
+// DRAM also fetches the following line into the shared levels, and a
+// demand hit on a prefetched line keeps the chain running — the behaviour
+// of a simple hardware stream prefetcher. Prefetches hide latency but
+// still move bytes: DRAMBytes (and therefore DRAM energy) includes them,
+// which is exactly the W1 ablation story (F17).
+func (h *Hierarchy) EnablePrefetch() {
+	h.prefetchOn = true
+	if h.prefetched == nil {
+		h.prefetched = make(map[uint64]bool)
+	}
+}
+
+// NewHierarchy builds the hierarchy for the given machine spec and core
+// count. All levels must share one line size (checked). Core count may be
+// at most 64 because the coherence directory uses a bitmask.
+func NewHierarchy(spec *machine.Spec, cores int) (*Hierarchy, error) {
+	if cores < 1 || cores > 64 {
+		return nil, fmt.Errorf("mem: cores must be in [1,64], got %d", cores)
+	}
+	if len(spec.Levels) == 0 {
+		return nil, fmt.Errorf("mem: machine %q has no cache levels", spec.Name)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		spec:  spec,
+		cores: cores,
+		dir:   make(map[uint64]*dirEntry),
+		line:  uint64(spec.Levels[0].LineBytes),
+	}
+	for i, l := range spec.Levels {
+		if uint64(l.LineBytes) != h.line {
+			return nil, fmt.Errorf("mem: level %s line size %d != %d", l.Name, l.LineBytes, h.line)
+		}
+		if l.Shared {
+			h.shIdx = append(h.shIdx, i)
+		} else {
+			h.privIdx = append(h.privIdx, i)
+		}
+	}
+	h.private = make([][]*cache, cores)
+	for c := 0; c < cores; c++ {
+		for _, i := range h.privIdx {
+			h.private[c] = append(h.private[c], newCache(spec.Levels[i]))
+		}
+	}
+	for _, i := range h.shIdx {
+		h.shared = append(h.shared, newCache(spec.Levels[i]))
+	}
+	h.stats.LevelHits = make([]int64, len(spec.Levels))
+	h.stats.LevelMisses = make([]int64, len(spec.Levels))
+	h.stats.LevelBytesIn = make([]int64, len(spec.Levels))
+	return h, nil
+}
+
+// AccessResult describes one (possibly multi-line) access.
+type AccessResult struct {
+	Cycles    float64
+	HitLevel  int // deepest structure consulted: 0..len(levels)-1, or DRAMLevel
+	LinesUsed int
+}
+
+// DRAMLevel is the HitLevel value meaning the access went to memory.
+const DRAMLevel = -1
+
+// Read performs a read by core from addr of the given size.
+func (h *Hierarchy) Read(core int, addr uint64, size int) AccessResult {
+	return h.access(core, addr, size, false)
+}
+
+// Write performs a write by core to addr of the given size.
+func (h *Hierarchy) Write(core int, addr uint64, size int) AccessResult {
+	return h.access(core, addr, size, true)
+}
+
+func (h *Hierarchy) access(core int, addr uint64, size int, write bool) AccessResult {
+	if size <= 0 {
+		return AccessResult{}
+	}
+	var res AccessResult
+	res.HitLevel = 0
+	first := addr / h.line
+	last := (addr + uint64(size) - 1) / h.line
+	for la := first; la <= last; la++ {
+		r := h.accessLine(core, la, write)
+		res.Cycles += r.Cycles
+		res.LinesUsed++
+		// Report the *worst* (deepest) level touched across the lines.
+		if r.HitLevel == DRAMLevel || (res.HitLevel != DRAMLevel && r.HitLevel > res.HitLevel) {
+			res.HitLevel = r.HitLevel
+		}
+	}
+	h.stats.AccessCount++
+	h.stats.TotalCycles += res.Cycles
+	return res
+}
+
+// accessLine handles one line-granular access with coherence.
+func (h *Hierarchy) accessLine(core int, lineAddr uint64, write bool) AccessResult {
+	var cycles float64
+	levels := h.spec.Levels
+
+	// Coherence first: a write needs exclusive ownership; a read needs the
+	// owner's modified copy pushed down. With one core there is no
+	// coherence, and skipping the directory makes single-core traces
+	// (the W1 blocking sweeps) several times faster.
+	var e *dirEntry
+	if h.cores > 1 {
+		e = h.dir[lineAddr]
+	}
+	if e != nil {
+		if write {
+			if e.modified && e.owner != core {
+				// Cache-to-cache intervention: fetch the modified copy
+				// and invalidate the owner.
+				h.invalidateEverywhere(e.owner, lineAddr)
+				h.stats.CacheTransfers++
+				h.stats.CoherenceBytes += int64(h.line)
+				h.stats.Invalidations++
+				cycles += h.interventionCycles()
+				e.sharers &^= 1 << uint(e.owner)
+			}
+			// Invalidate all other sharers.
+			for c := 0; c < h.cores; c++ {
+				if c != core && e.sharers&(1<<uint(c)) != 0 {
+					h.invalidateEverywhere(c, lineAddr)
+					h.stats.Invalidations++
+					e.sharers &^= 1 << uint(c)
+				}
+			}
+			e.modified = true
+			e.owner = core
+		} else if e.modified && e.owner != core {
+			// Read of a remotely modified line: owner downgrades to shared
+			// and forwards the data.
+			h.cleanEverywhere(e.owner, lineAddr)
+			h.stats.CacheTransfers++
+			h.stats.CoherenceBytes += int64(h.line)
+			cycles += h.interventionCycles()
+			e.modified = false
+		}
+	}
+
+	// Probe private levels nearest-first.
+	priv := h.private[core]
+	for pi, c := range priv {
+		if l, ok := c.lookup(lineAddr); ok {
+			c.Hits++
+			li := h.privIdx[pi]
+			h.stats.LevelHits[li]++
+			cycles += levels[li].LatencyCycles
+			if write {
+				l.dirty = true
+				h.noteWriter(core, lineAddr)
+			} else {
+				h.noteSharer(core, lineAddr)
+			}
+			// Fill the line into the levels above the hit for next time.
+			h.fillPrivate(core, lineAddr, pi-1, write)
+			return AccessResult{Cycles: cycles, HitLevel: li}
+		}
+		c.Misses++
+		h.stats.LevelMisses[h.privIdx[pi]]++
+		cycles += levels[h.privIdx[pi]].LatencyCycles
+	}
+
+	// Probe shared levels.
+	for si, c := range h.shared {
+		if _, ok := c.lookup(lineAddr); ok {
+			c.Hits++
+			li := h.shIdx[si]
+			h.stats.LevelHits[li]++
+			cycles += levels[li].LatencyCycles
+			h.fillPrivate(core, lineAddr, len(priv)-1, write)
+			if write {
+				h.noteWriter(core, lineAddr)
+			} else {
+				h.noteSharer(core, lineAddr)
+			}
+			if h.prefetchOn && h.prefetched[lineAddr] {
+				delete(h.prefetched, lineAddr)
+				h.issuePrefetch(lineAddr + 1)
+			}
+			return AccessResult{Cycles: cycles, HitLevel: li}
+		}
+		c.Misses++
+		h.stats.LevelMisses[h.shIdx[si]]++
+		cycles += levels[h.shIdx[si]].LatencyCycles
+	}
+
+	// DRAM.
+	h.stats.DRAMAccesses++
+	h.stats.DRAMBytes += int64(h.line)
+	cycles += h.spec.DRAM.LatencyCycles
+	cycles += float64(h.line) / h.spec.DRAM.BytesPerSec * h.spec.ClockHz
+	cycles += h.numaDRAMPenalty(core, lineAddr)
+	if h.prefetchOn {
+		h.issuePrefetch(lineAddr + 1)
+	}
+	// Fill shared levels deepest-first, then private.
+	for si := len(h.shared) - 1; si >= 0; si-- {
+		h.fillShared(si, lineAddr)
+	}
+	h.fillPrivate(core, lineAddr, len(priv)-1, write)
+	if write {
+		h.noteWriter(core, lineAddr)
+	} else {
+		h.noteSharer(core, lineAddr)
+	}
+	return AccessResult{Cycles: cycles, HitLevel: DRAMLevel}
+}
+
+// interventionCycles is the cost of a cache-to-cache transfer; we use the
+// deepest shared level's latency as the interconnect proxy, or DRAM latency
+// if there is no shared cache.
+func (h *Hierarchy) interventionCycles() float64 {
+	if len(h.shIdx) > 0 {
+		return h.spec.Levels[h.shIdx[len(h.shIdx)-1]].LatencyCycles
+	}
+	return h.spec.DRAM.LatencyCycles
+}
+
+// fillPrivate installs the line into core's private levels from `from` up to
+// L1 (index 0). Evicted dirty lines are written back toward DRAM.
+func (h *Hierarchy) fillPrivate(core int, lineAddr uint64, from int, dirty bool) {
+	for pi := from; pi >= 0; pi-- {
+		c := h.private[core][pi]
+		if _, ok := c.lookup(lineAddr); ok {
+			if dirty {
+				c.markDirty(lineAddr)
+			}
+			continue
+		}
+		evicted, evDirty, evValid := c.fill(lineAddr, dirty)
+		h.stats.LevelBytesIn[h.privIdx[pi]] += int64(h.line)
+		if evValid {
+			h.handlePrivateEviction(core, pi, evicted, evDirty)
+		}
+	}
+}
+
+// handlePrivateEviction processes a line evicted from a private level:
+// writeback if dirty, and directory cleanup when the core no longer holds
+// the line anywhere privately.
+func (h *Hierarchy) handlePrivateEviction(core, fromLevel int, lineAddr uint64, dirty bool) {
+	if dirty {
+		// Write back into the next private level, else shared, else DRAM.
+		if fromLevel+1 < len(h.private[core]) {
+			nc := h.private[core][fromLevel+1]
+			if _, ok := nc.lookup(lineAddr); ok {
+				nc.markDirty(lineAddr)
+			} else {
+				ev, evD, evV := nc.fill(lineAddr, true)
+				h.stats.LevelBytesIn[h.privIdx[fromLevel+1]] += int64(h.line)
+				if evV {
+					h.handlePrivateEviction(core, fromLevel+1, ev, evD)
+				}
+			}
+		} else if len(h.shared) > 0 {
+			sc := h.shared[0]
+			if _, ok := sc.lookup(lineAddr); ok {
+				sc.markDirty(lineAddr)
+			} else {
+				h.fillSharedDirty(0, lineAddr)
+			}
+		} else {
+			h.stats.DRAMBytes += int64(h.line)
+			h.stats.WritebackBytes += int64(h.line)
+		}
+	}
+	// Directory cleanup: does the core still hold this line privately?
+	if h.cores == 1 {
+		return
+	}
+	if !h.coreHolds(core, lineAddr) {
+		if e := h.dir[lineAddr]; e != nil {
+			e.sharers &^= 1 << uint(core)
+			if e.modified && e.owner == core {
+				e.modified = false
+			}
+			if e.sharers == 0 {
+				delete(h.dir, lineAddr)
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) fillShared(si int, lineAddr uint64) {
+	c := h.shared[si]
+	if _, ok := c.lookup(lineAddr); ok {
+		return
+	}
+	_, evD, evV := c.fill(lineAddr, false)
+	h.stats.LevelBytesIn[h.shIdx[si]] += int64(h.line)
+	if evV && evD {
+		h.stats.DRAMBytes += int64(h.line)
+		h.stats.WritebackBytes += int64(h.line)
+	}
+}
+
+func (h *Hierarchy) fillSharedDirty(si int, lineAddr uint64) {
+	c := h.shared[si]
+	_, evD, evV := c.fill(lineAddr, true)
+	h.stats.LevelBytesIn[h.shIdx[si]] += int64(h.line)
+	if evV && evD {
+		h.stats.DRAMBytes += int64(h.line)
+		h.stats.WritebackBytes += int64(h.line)
+	}
+}
+
+// issuePrefetch fetches the line into the shared levels (or the deepest
+// private level when the machine has no shared cache) off the critical
+// path: no cycles are charged, but the DRAM traffic is.
+func (h *Hierarchy) issuePrefetch(lineAddr uint64) {
+	// Already resident somewhere shared? Then nothing to do.
+	for _, c := range h.shared {
+		set := c.sets[c.index(lineAddr)]
+		for i := range set {
+			if set[i].valid && set[i].tag == lineAddr {
+				return
+			}
+		}
+	}
+	h.stats.Prefetches++
+	h.stats.DRAMBytes += int64(h.line)
+	h.stats.PrefetchBytes += int64(h.line)
+	if len(h.shared) > 0 {
+		for si := len(h.shared) - 1; si >= 0; si-- {
+			h.fillShared(si, lineAddr)
+		}
+	} else {
+		// No shared level: fill the deepest private level of core 0.
+		pi := len(h.private[0]) - 1
+		c := h.private[0][pi]
+		if _, ok := c.lookup(lineAddr); !ok {
+			ev, evD, evV := c.fill(lineAddr, false)
+			h.stats.LevelBytesIn[h.privIdx[pi]] += int64(h.line)
+			if evV {
+				h.handlePrivateEviction(0, pi, ev, evD)
+			}
+		}
+	}
+	h.prefetched[lineAddr] = true
+}
+
+func (h *Hierarchy) coreHolds(core int, lineAddr uint64) bool {
+	for _, c := range h.private[core] {
+		set := c.sets[c.index(lineAddr)]
+		for i := range set {
+			if set[i].valid && set[i].tag == lineAddr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (h *Hierarchy) invalidateEverywhere(core int, lineAddr uint64) {
+	for _, c := range h.private[core] {
+		c.invalidate(lineAddr)
+	}
+}
+
+func (h *Hierarchy) cleanEverywhere(core int, lineAddr uint64) {
+	for _, c := range h.private[core] {
+		c.clean(lineAddr)
+	}
+}
+
+func (h *Hierarchy) noteSharer(core int, lineAddr uint64) {
+	if h.cores == 1 {
+		return
+	}
+	e := h.dir[lineAddr]
+	if e == nil {
+		e = &dirEntry{}
+		h.dir[lineAddr] = e
+	}
+	e.sharers |= 1 << uint(core)
+}
+
+func (h *Hierarchy) noteWriter(core int, lineAddr uint64) {
+	if h.cores == 1 {
+		return
+	}
+	e := h.dir[lineAddr]
+	if e == nil {
+		e = &dirEntry{}
+		h.dir[lineAddr] = e
+	}
+	e.sharers |= 1 << uint(core)
+	e.modified = true
+	e.owner = core
+}
+
+// ResetStats clears the accumulated statistics, keeping cache contents and
+// NUMA homing intact — useful for excluding a warm-up or initialisation
+// phase from measurement.
+func (h *Hierarchy) ResetStats() {
+	st := Stats{
+		LevelHits:    make([]int64, len(h.spec.Levels)),
+		LevelMisses:  make([]int64, len(h.spec.Levels)),
+		LevelBytesIn: make([]int64, len(h.spec.Levels)),
+	}
+	h.stats = st
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.LevelHits = append([]int64(nil), h.stats.LevelHits...)
+	s.LevelMisses = append([]int64(nil), h.stats.LevelMisses...)
+	s.LevelBytesIn = append([]int64(nil), h.stats.LevelBytesIn...)
+	return s
+}
+
+// TimeSec converts the accumulated cycles to seconds on this machine.
+func (h *Hierarchy) TimeSec() float64 {
+	return h.stats.TotalCycles * h.spec.CycleSec()
+}
+
+// ChargeEnergy adds the hierarchy's data-movement energy to the meter:
+// per-level fills at the level's pJ/byte, DRAM traffic at DRAM pJ/byte, and
+// coherence transfers at the LLC's pJ/byte.
+func (h *Hierarchy) ChargeEnergy(m *energy.Meter) {
+	for i, l := range h.spec.Levels {
+		j := float64(h.stats.LevelBytesIn[i]) * l.PJPerByte * 1e-12
+		if j > 0 {
+			m.Add("cache:"+l.Name, j)
+		}
+	}
+	if h.stats.DRAMBytes > 0 {
+		m.Add(energy.DRAM, float64(h.stats.DRAMBytes)*h.spec.DRAM.PJPerByte*1e-12)
+	}
+	if h.stats.CoherenceBytes > 0 {
+		pj := h.spec.Levels[len(h.spec.Levels)-1].PJPerByte
+		m.Add("coherence", float64(h.stats.CoherenceBytes)*pj*1e-12)
+	}
+	if h.stats.RemoteDRAMBytes > 0 {
+		extra := (h.spec.NUMA.RemotePJFactor - 1) * h.spec.DRAM.PJPerByte
+		if extra > 0 {
+			m.Add("numa-remote", float64(h.stats.RemoteDRAMBytes)*extra*1e-12)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package mem
+
+// NUMA support: when enabled (and the machine spec declares more than one
+// domain), every DRAM access is classified local or remote according to
+// the accessing core's domain and the line's home domain, with remote
+// accesses paying the spec's extra latency; ChargeEnergy bills remote
+// bytes at the higher pJ/byte. Two placement policies model the classic
+// software choice: page interleaving (half the traffic remote, always) and
+// first-touch (whoever touches a page first owns it — local if the
+// initialisation matches the compute partition, pathological if rank 0
+// initialises everything).
+
+// Placement selects how lines are homed to NUMA domains.
+type Placement int
+
+const (
+	// PlacementInterleave homes pages round-robin across domains.
+	PlacementInterleave Placement = iota
+	// PlacementFirstTouch homes a page in the domain of the first core
+	// that touches it.
+	PlacementFirstTouch
+)
+
+// numaPageBytes is the homing granularity (a 4 KiB page).
+const numaPageBytes = 4096
+
+// EnableNUMA activates NUMA accounting with the given placement policy.
+// It is a no-op if the machine spec declares a uniform memory (<= 1
+// domain).
+func (h *Hierarchy) EnableNUMA(p Placement) {
+	if h.spec.NUMA.Uniform() {
+		return
+	}
+	h.numaOn = true
+	h.placement = p
+	if h.firstTouch == nil {
+		h.firstTouch = make(map[uint64]int)
+	}
+}
+
+// coreDomain maps a core to its NUMA domain (cores split evenly).
+func (h *Hierarchy) coreDomain(core int) int {
+	d := h.spec.NUMA.Domains
+	perDomain := (h.cores + d - 1) / d
+	return core / perDomain
+}
+
+// homeDomain returns (and, for first-touch, records) the domain owning the
+// page containing addr.
+func (h *Hierarchy) homeDomain(core int, lineAddr uint64) int {
+	page := lineAddr * h.line / numaPageBytes
+	switch h.placement {
+	case PlacementFirstTouch:
+		if d, ok := h.firstTouch[page]; ok {
+			return d
+		}
+		d := h.coreDomain(core)
+		h.firstTouch[page] = d
+		return d
+	default:
+		return int(page % uint64(h.spec.NUMA.Domains))
+	}
+}
+
+// numaDRAMPenalty classifies one DRAM line access and returns the extra
+// latency cycles beyond the local cost (0 when local or NUMA is off).
+func (h *Hierarchy) numaDRAMPenalty(core int, lineAddr uint64) float64 {
+	if !h.numaOn {
+		return 0
+	}
+	if h.homeDomain(core, lineAddr) == h.coreDomain(core) {
+		h.stats.LocalDRAMBytes += int64(h.line)
+		return 0
+	}
+	h.stats.RemoteDRAMBytes += int64(h.line)
+	return h.spec.DRAM.LatencyCycles * (h.spec.NUMA.RemoteLatencyFactor - 1)
+}

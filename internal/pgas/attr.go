@@ -1,0 +1,81 @@
+package pgas
+
+import (
+	"time"
+
+	"tenways/internal/trace"
+)
+
+// Virtual-time attribution: the world ledgers each rank's simulated seconds
+// into the same categories the measured plane's trace.Recorder uses, so
+// core.Diagnose works identically on simulated runs. Busy time is charged
+// by Lapse/Compute/Spin; waiting primitives charge comm-wait, except
+// within a Sync section (used by the collective barriers), which
+// re-classifies waits as sync-wait.
+
+// attrLedger is one rank's virtual-second totals.
+type attrLedger struct {
+	compute   float64
+	commWait  float64
+	syncWait  float64
+	syncDepth int
+}
+
+// Sync marks fn as synchronisation: waits inside it are attributed to
+// sync-wait instead of comm-wait. The collective package wraps its
+// barriers with it; applications can mark their own phases.
+func (r *Rank) Sync(fn func()) {
+	l := &r.w.attr[r.ID()]
+	l.syncDepth++
+	fn()
+	l.syncDepth--
+}
+
+// chargeWait attributes d virtual seconds of blocking to the rank.
+func (r *Rank) chargeWait(d float64) {
+	if d <= 0 {
+		return
+	}
+	l := &r.w.attr[r.ID()]
+	if l.syncDepth > 0 {
+		l.syncWait += d
+	} else {
+		l.commWait += d
+	}
+}
+
+// chargeCompute attributes d virtual seconds of useful work.
+func (r *Rank) chargeCompute(d float64) {
+	r.w.attr[r.ID()].compute += d
+}
+
+// Breakdown converts the world's virtual-time ledgers into a
+// trace.Breakdown (1 virtual second = 1s of trace time): per-rank compute,
+// comm-wait, and sync-wait, plus the idle tail up to the makespan. Call
+// after Run; pass Run's returned makespan.
+func (w *World) Breakdown(makespan float64) trace.Breakdown {
+	b := trace.Breakdown{
+		Wall:      secsToDur(makespan),
+		PerWorker: make([]trace.WorkerTimes, w.N),
+	}
+	for i := 0; i < w.N; i++ {
+		l := w.attr[i]
+		set := func(cat trace.Category, secs float64) {
+			d := secsToDur(secs)
+			b.PerWorker[i].ByCategory[cat] = d
+			b.Total[cat] += d
+		}
+		set(trace.Compute, l.compute)
+		set(trace.CommWait, l.commWait)
+		set(trace.SyncWait, l.syncWait)
+		idle := makespan - l.compute - l.commWait - l.syncWait
+		if idle > 0 {
+			set(trace.Idle, idle)
+		}
+	}
+	return b
+}
+
+func secsToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

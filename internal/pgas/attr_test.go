@@ -1,0 +1,163 @@
+package pgas
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tenways/internal/trace"
+)
+
+func durSecs(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+func TestBreakdownComputeOnly(t *testing.T) {
+	w := NewWorld(2, spec(), nil, nil)
+	end, err := w.Run(func(r *Rank) { r.Lapse(0.5) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if math.Abs(durSecs(b.Of(trace.Compute))-1.0) > 1e-9 {
+		t.Fatalf("compute = %v", b.Of(trace.Compute))
+	}
+	if b.Of(trace.CommWait) != 0 || b.Of(trace.SyncWait) != 0 {
+		t.Fatalf("unexpected waits: %v", b)
+	}
+}
+
+func TestBreakdownCommWait(t *testing.T) {
+	s := spec()
+	w := NewWorld(2, s, nil, nil)
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Lapse(1e-3)
+			r.Signal(1, "go")
+		} else {
+			r.WaitSignal("go", 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	// Rank 1 waited ~the whole run.
+	waited := durSecs(b.PerWorker[1].ByCategory[trace.CommWait])
+	if waited < 0.9e-3 {
+		t.Fatalf("rank 1 comm-wait = %g, want ~1ms", waited)
+	}
+}
+
+func TestBreakdownSyncSection(t *testing.T) {
+	w := NewWorld(2, spec(), nil, nil)
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Lapse(2e-3)
+			r.Signal(1, "bar")
+		} else {
+			r.Sync(func() { r.WaitSignal("bar", 1) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if b.PerWorker[1].ByCategory[trace.SyncWait] == 0 {
+		t.Fatal("Sync section wait not attributed to sync-wait")
+	}
+	if b.PerWorker[1].ByCategory[trace.CommWait] != 0 {
+		t.Fatal("Sync section wait leaked into comm-wait")
+	}
+}
+
+func TestBreakdownIdleResidual(t *testing.T) {
+	w := NewWorld(2, spec(), nil, nil)
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Lapse(1e-3)
+		}
+		// Rank 1 does nothing: its whole run is idle residual.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if durSecs(b.PerWorker[1].ByCategory[trace.Idle]) < 0.9e-3 {
+		t.Fatalf("idle residual = %v", b.PerWorker[1].ByCategory[trace.Idle])
+	}
+}
+
+func TestBreakdownHandleWaitIsCommWait(t *testing.T) {
+	w := NewWorld(2, spec(), nil, nil)
+	w.Alloc("x", 4096)
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			h := r.PutAsync(1, "x", 0, make([]float64, 4096))
+			h.Wait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if b.PerWorker[0].ByCategory[trace.CommWait] == 0 {
+		t.Fatal("handle wait not attributed")
+	}
+}
+
+func TestBreakdownSpinCountsAsWait(t *testing.T) {
+	w := NewWorld(1, spec(), nil, nil)
+	end, err := w.Run(func(r *Rank) { r.Spin(1e-3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if b.Of(trace.CommWait) == 0 {
+		t.Fatal("spin should count as waiting")
+	}
+	if b.Of(trace.Compute) != 0 {
+		t.Fatal("spin is not useful compute")
+	}
+}
+
+func TestRankBytesAndCommImbalance(t *testing.T) {
+	w := NewWorld(4, spec(), nil, nil)
+	w.Alloc("x", 64)
+	_, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			// Rank 0 sends everything: maximal imbalance.
+			for d := 1; d < 4; d++ {
+				r.Put(d, "x", 0, make([]float64, 64))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := w.RankBytesSent()
+	if sent[0] != 3*64*8 || sent[1] != 0 {
+		t.Fatalf("rank bytes = %v", sent)
+	}
+	// max/mean - 1 = (1536)/(384) - 1 = 3
+	if got := w.CommImbalance(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("comm imbalance = %g", got)
+	}
+
+	balanced := NewWorld(4, spec(), nil, nil)
+	balanced.Alloc("x", 8)
+	_, err = balanced.Run(func(r *Rank) {
+		r.Put((r.ID()+1)%4, "x", 0, make([]float64, 8))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := balanced.CommImbalance(); math.Abs(got) > 1e-9 {
+		t.Fatalf("balanced imbalance = %g", got)
+	}
+	empty := NewWorld(2, spec(), nil, nil)
+	if _, err := empty.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.CommImbalance() != 0 {
+		t.Fatal("no-traffic imbalance should be 0")
+	}
+}

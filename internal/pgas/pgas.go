@@ -1,0 +1,519 @@
+// Package pgas is a partitioned-global-address-space runtime in the UPC
+// tradition, executing on the deterministic simulation kernel of
+// internal/sim with message costs from a pluggable network model. Rank
+// programs are plain Go functions; Put/Get move real data between ranks'
+// partitions (so algorithms are checked for correctness, not just timed),
+// while the runtime advances virtual time and charges the energy meter for
+// every flop computed, byte moved, and second spent idle.
+//
+// The runtime exposes both blocking and split-phase (async) one-sided
+// operations; the contrast between them is the W6 (overlap) experiment.
+package pgas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tenways/internal/energy"
+	"tenways/internal/machine"
+	"tenways/internal/sim"
+)
+
+// CostModel abstracts per-message time and energy. netsim.Model implements
+// it; SimpleCost adapts a bare machine.Spec.
+type CostModel interface {
+	MsgTime(src, dst int, bytes float64) float64
+	MsgEnergy(src, dst int, bytes float64) float64
+}
+
+// SimpleCost is the topology-free LogGP cost model taken directly from a
+// machine spec: every pair of ranks is one hop apart.
+type SimpleCost struct{ Spec *machine.Spec }
+
+// MsgTime implements CostModel.
+func (c SimpleCost) MsgTime(src, dst int, bytes float64) float64 {
+	if src == dst {
+		return 2 * c.Spec.Net.OverheadSec
+	}
+	return c.Spec.MsgTimeSec(bytes)
+}
+
+// MsgEnergy implements CostModel.
+func (c SimpleCost) MsgEnergy(src, dst int, bytes float64) float64 {
+	if src == dst {
+		return 0
+	}
+	return c.Spec.MsgEnergyJ(bytes)
+}
+
+// Stats aggregates world-wide communication activity.
+type Stats struct {
+	Messages  int64
+	BytesSent int64
+	Signals   int64
+	Gets      int64
+	Puts      int64
+	Sends     int64
+}
+
+// World is one simulation instance: a set of ranks, a global address space
+// partitioned across them, a cost model, and an energy meter.
+type World struct {
+	N     int
+	spec  *machine.Spec
+	cost  CostModel
+	meter *energy.Meter
+
+	k        *sim.Kernel
+	segments map[string][][]float64
+	flags    []map[string]*flagVar
+	boxes    []map[string]*mailbox
+	busy     []float64 // per-rank busy seconds
+	txFree   []float64 // per-rank send-side NIC free time (bandwidth gap)
+	rxFree   []float64 // per-rank receive-side NIC free time
+	attr     []attrLedger
+	rankSent []int64 // bytes sent per rank
+	stats    Stats
+}
+
+type flagVar struct {
+	count int64
+	cond  *sim.Cond
+}
+
+type mailbox struct {
+	queue [][]float64
+	cond  *sim.Cond
+}
+
+// NewWorld creates a world of n ranks on the given machine with the given
+// cost model (nil means SimpleCost over the spec) and meter (nil allocates
+// a private one).
+func NewWorld(n int, spec *machine.Spec, cost CostModel, meter *energy.Meter) *World {
+	if cost == nil {
+		cost = SimpleCost{Spec: spec}
+	}
+	if meter == nil {
+		meter = energy.NewMeter()
+	}
+	w := &World{
+		N:        n,
+		spec:     spec,
+		cost:     cost,
+		meter:    meter,
+		k:        sim.NewKernel(),
+		segments: make(map[string][][]float64),
+		flags:    make([]map[string]*flagVar, n),
+		boxes:    make([]map[string]*mailbox, n),
+		busy:     make([]float64, n),
+		txFree:   make([]float64, n),
+		rxFree:   make([]float64, n),
+		attr:     make([]attrLedger, n),
+		rankSent: make([]int64, n),
+	}
+	for i := range w.flags {
+		w.flags[i] = make(map[string]*flagVar)
+		w.boxes[i] = make(map[string]*mailbox)
+	}
+	return w
+}
+
+// Alloc creates a named segment with perRank elements in every rank's
+// partition. It must be called before Run.
+func (w *World) Alloc(name string, perRank int) {
+	if _, dup := w.segments[name]; dup {
+		panic(fmt.Sprintf("pgas: segment %q already allocated", name))
+	}
+	seg := make([][]float64, w.N)
+	for i := range seg {
+		seg[i] = make([]float64, perRank)
+	}
+	w.segments[name] = seg
+}
+
+// Meter returns the world's energy meter.
+func (w *World) Meter() *energy.Meter { return w.meter }
+
+// RankBytesSent returns a copy of the per-rank sent-byte ledger, the input
+// to communication-imbalance analysis: a rank sending far more than the
+// mean is a decomposition smell even when compute is balanced.
+func (w *World) RankBytesSent() []int64 {
+	out := make([]int64, w.N)
+	for i := range out {
+		out[i] = atomic.LoadInt64(&w.rankSent[i])
+	}
+	return out
+}
+
+// CommImbalance returns max/mean − 1 over per-rank sent bytes (0 when no
+// traffic or perfectly balanced).
+func (w *World) CommImbalance() float64 {
+	var max, sum int64
+	for i := 0; i < w.N; i++ {
+		b := atomic.LoadInt64(&w.rankSent[i])
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(w.N)
+	return float64(max)/mean - 1
+}
+
+// Stats returns a snapshot of communication statistics.
+func (w *World) Stats() Stats {
+	return Stats{
+		Messages:  atomic.LoadInt64(&w.stats.Messages),
+		BytesSent: atomic.LoadInt64(&w.stats.BytesSent),
+		Signals:   atomic.LoadInt64(&w.stats.Signals),
+		Gets:      atomic.LoadInt64(&w.stats.Gets),
+		Puts:      atomic.LoadInt64(&w.stats.Puts),
+		Sends:     atomic.LoadInt64(&w.stats.Sends),
+	}
+}
+
+// Run executes body on every rank and returns the simulated makespan in
+// seconds. After the run, the meter additionally holds each rank's idle
+// energy (makespan − busy time, at the machine's idle watts) and busy
+// energy is charged as compute happens.
+func (w *World) Run(body func(r *Rank)) (float64, error) {
+	end, err := w.k.Run(w.N, func(p *sim.Proc) {
+		body(&Rank{w: w, p: p})
+	})
+	if err != nil {
+		return end, err
+	}
+	for i := 0; i < w.N; i++ {
+		idle := end - w.busy[i]
+		if idle < 0 {
+			idle = 0
+		}
+		w.meter.Add(energy.Idle, w.spec.IdleEnergyJ(idle))
+	}
+	return end, nil
+}
+
+// Rank is the per-process view of the world.
+type Rank struct {
+	w *World
+	p *sim.Proc
+}
+
+// ID returns the rank number in [0, N).
+func (r *Rank) ID() int { return r.p.ID() }
+
+// N returns the number of ranks.
+func (r *Rank) N() int { return r.w.N }
+
+// Now returns the current virtual time in seconds.
+func (r *Rank) Now() float64 { return r.p.Now() }
+
+// World returns the enclosing world.
+func (r *Rank) World() *World { return r.w }
+
+// Local returns this rank's partition of the named segment. Mutating it is
+// free (it models register/cache-resident work); charge the cost separately
+// with Compute.
+func (r *Rank) Local(name string) []float64 {
+	seg, ok := r.w.segments[name]
+	if !ok {
+		panic(fmt.Sprintf("pgas: unknown segment %q", name))
+	}
+	return seg[r.ID()]
+}
+
+// Compute advances virtual time for a kernel that executes the given flops
+// and moves the given bytes through local DRAM, taking the roofline maximum
+// of the two (compute and memory streams overlap within a node). Energy is
+// charged for both components, plus busy static power for the duration.
+func (r *Rank) Compute(flops, dramBytes float64) {
+	tf := r.w.spec.FlopTimeSec(flops)
+	tm := dramBytes / r.w.spec.DRAM.BytesPerSec
+	t := tf
+	if tm > t {
+		t = tm
+	}
+	r.w.meter.Add(energy.Flops, r.w.spec.FlopEnergyJ(flops))
+	if dramBytes > 0 {
+		r.w.meter.Add(energy.DRAM, r.w.spec.DRAMEnergyJ(dramBytes))
+	}
+	r.Lapse(t)
+}
+
+// Lapse advances virtual time by d seconds of busy work, charging busy
+// static power.
+func (r *Rank) Lapse(d float64) {
+	r.w.meter.Add(energy.Static, r.w.spec.BusyEnergyJ(d))
+	r.w.busy[r.ID()] += d
+	r.chargeCompute(d)
+	r.p.Advance(d)
+}
+
+// Idle advances virtual time by d seconds without doing work (waiting on an
+// external system, W10); idle energy is charged at run end via the busy
+// ledger, so nothing extra is charged here.
+func (r *Rank) Idle(d float64) { r.p.Advance(d) }
+
+// Spin advances virtual time by d seconds of busy-waiting: no useful work,
+// but full busy power — the W10 anti-pattern.
+func (r *Rank) Spin(d float64) {
+	r.w.meter.Add(energy.Static, r.w.spec.BusyEnergyJ(d))
+	r.w.busy[r.ID()] += d
+	r.chargeWait(d)
+	r.p.Advance(d)
+}
+
+// arrival computes when a message issued now by this rank lands at dst,
+// with both NICs modeled as serial resources in the LogGP spirit:
+//
+//   - the sender cannot inject a message until the previous one's bytes
+//     have left its NIC (the bandwidth gap G), so pipelined chunks cannot
+//     exceed wire bandwidth;
+//   - each delivery occupies the receiver's NIC for the larger of the
+//     software overhead o and the message's drain time, so floods of
+//     messages queue up at their destination.
+//
+// Local transfers skip both NICs.
+func (r *Rank) arrival(dst int, bytes float64) float64 {
+	return r.w.arrivalFrom(r.ID(), dst, r.p.Now(), bytes)
+}
+
+func (w *World) arrivalFrom(src, dst int, issue, bytes float64) float64 {
+	if dst == src {
+		return issue + w.cost.MsgTime(src, dst, bytes)
+	}
+	bw := w.spec.Net.BytesPerSec
+	start := issue
+	if w.txFree[src] > start {
+		start = w.txFree[src]
+	}
+	w.txFree[src] = start + bytes/bw
+	t := start + w.cost.MsgTime(src, dst, bytes)
+	occ := w.spec.Net.OverheadSec
+	if drain := bytes / bw; drain > occ {
+		occ = drain
+	}
+	if queued := w.rxFree[dst] + occ; queued > t {
+		t = queued
+	}
+	w.rxFree[dst] = t
+	return t
+}
+
+func (r *Rank) chargeMsg(dst int, bytes float64) {
+	atomic.AddInt64(&r.w.stats.Messages, 1)
+	atomic.AddInt64(&r.w.stats.BytesSent, int64(bytes))
+	atomic.AddInt64(&r.w.rankSent[r.ID()], int64(bytes))
+	r.w.meter.Add(energy.Network, r.w.cost.MsgEnergy(r.ID(), dst, bytes))
+}
+
+// Put copies vals into rank dst's partition of the segment at off,
+// blocking until the transfer completes (data is visible at dst from the
+// completion time onward).
+func (r *Rank) Put(dst int, name string, off int, vals []float64) {
+	h := r.PutAsync(dst, name, off, vals)
+	h.Wait()
+}
+
+// PutAsync begins a one-sided put and returns immediately after the send
+// overhead; the returned handle's Wait blocks until remote completion. The
+// data is captured at issue time (source buffer may be reused).
+func (r *Rank) PutAsync(dst int, name string, off int, vals []float64) *Handle {
+	seg, ok := r.w.segments[name]
+	if !ok {
+		panic(fmt.Sprintf("pgas: unknown segment %q", name))
+	}
+	bytes := float64(8 * len(vals))
+	r.chargeMsg(dst, bytes)
+	atomic.AddInt64(&r.w.stats.Puts, 1)
+	data := append([]float64(nil), vals...)
+	done := r.arrival(dst, bytes)
+	r.w.kernel().At(done, func() {
+		copy(seg[dst][off:off+len(data)], data)
+	})
+	// The initiator pays only its software overhead before continuing.
+	r.Lapse(r.overhead())
+	return &Handle{r: r, done: done}
+}
+
+// PutSignal performs a one-sided put that additionally increments the named
+// flag at dst when — and only when — the data has landed, the UPC-style
+// "put with remote completion notification". It returns after the send
+// overhead like PutAsync; receivers pair it with WaitSignal and may then
+// read the segment safely.
+func (r *Rank) PutSignal(dst int, name string, off int, vals []float64, flag string) *Handle {
+	seg, ok := r.w.segments[name]
+	if !ok {
+		panic(fmt.Sprintf("pgas: unknown segment %q", name))
+	}
+	bytes := float64(8 * len(vals))
+	r.chargeMsg(dst, bytes)
+	atomic.AddInt64(&r.w.stats.Puts, 1)
+	atomic.AddInt64(&r.w.stats.Signals, 1)
+	data := append([]float64(nil), vals...)
+	done := r.arrival(dst, bytes)
+	w := r.w
+	w.kernel().At(done, func() {
+		copy(seg[dst][off:off+len(data)], data)
+		fv := w.flag(dst, flag)
+		fv.count++
+		fv.cond.Broadcast()
+	})
+	r.Lapse(r.overhead())
+	return &Handle{r: r, done: done}
+}
+
+// Get copies n elements from rank src's partition at off into a fresh
+// slice, blocking for a request/response round trip.
+func (r *Rank) Get(src int, name string, off, n int) []float64 {
+	h, out := r.GetAsync(src, name, off, n)
+	h.Wait()
+	return out
+}
+
+// GetAsync begins a one-sided get. The returned slice is filled by the time
+// the handle's Wait returns; reading it earlier is a race in the simulated
+// program (and will read zeros).
+func (r *Rank) GetAsync(src int, name string, off, n int) (*Handle, []float64) {
+	seg, ok := r.w.segments[name]
+	if !ok {
+		panic(fmt.Sprintf("pgas: unknown segment %q", name))
+	}
+	out := make([]float64, n)
+	bytes := float64(8 * n)
+	// Request: a small message to src; response: the data back.
+	const reqBytes = 16
+	r.chargeMsg(src, reqBytes)
+	atomic.AddInt64(&r.w.stats.Gets, 1)
+	tReq := r.arrival(src, reqBytes)
+	me := r.ID()
+	w := r.w
+	// The response is injected by src when the request arrives; compute
+	// its delivery (including NIC queueing) now so the handle can wait.
+	done := w.arrivalFrom(src, me, tReq, bytes)
+	k := w.kernel()
+	k.At(tReq, func() {
+		// Data is read at the moment the request arrives at src.
+		data := append([]float64(nil), seg[src][off:off+n]...)
+		atomic.AddInt64(&w.stats.Messages, 1)
+		atomic.AddInt64(&w.stats.BytesSent, int64(bytes))
+		w.meter.Add(energy.Network, w.cost.MsgEnergy(src, me, bytes))
+		k.At(done, func() { copy(out, data) })
+	})
+	r.Lapse(r.overhead())
+	return &Handle{r: r, done: done}, out
+}
+
+// Signal increments the named flag at rank dst (fire-and-forget small
+// message); receivers block on WaitSignal.
+func (r *Rank) Signal(dst int, flag string) {
+	const sigBytes = 8
+	r.chargeMsg(dst, sigBytes)
+	atomic.AddInt64(&r.w.stats.Signals, 1)
+	t := r.arrival(dst, sigBytes)
+	w := r.w
+	w.kernel().At(t, func() {
+		fv := w.flag(dst, flag)
+		fv.count++
+		fv.cond.Broadcast()
+	})
+	r.Lapse(r.overhead())
+}
+
+// WaitSignal blocks until the local named flag has been signalled at least
+// count times in total.
+func (r *Rank) WaitSignal(flag string, count int64) {
+	fv := r.w.flag(r.ID(), flag)
+	t0 := r.p.Now()
+	for fv.count < count {
+		r.p.Wait(fv.cond)
+	}
+	r.chargeWait(r.p.Now() - t0)
+}
+
+// SignalCount returns the local flag's current count without blocking.
+func (r *Rank) SignalCount(flag string) int64 {
+	return r.w.flag(r.ID(), flag).count
+}
+
+// Send delivers a copy of vals into dst's named mailbox after one message
+// time (two-sided messaging in the MPI style, on the same cost model as the
+// one-sided operations). The sender continues after its software overhead.
+// Messages from one sender to one box arrive in issue order when they have
+// equal size; messages from different senders interleave by delivery time.
+func (r *Rank) Send(dst int, box string, vals []float64) {
+	bytes := float64(8 * len(vals))
+	r.chargeMsg(dst, bytes)
+	atomic.AddInt64(&r.w.stats.Sends, 1)
+	data := append([]float64(nil), vals...)
+	t := r.arrival(dst, bytes)
+	w := r.w
+	w.kernel().At(t, func() {
+		mb := w.mailbox(dst, box)
+		mb.queue = append(mb.queue, data)
+		mb.cond.Broadcast()
+	})
+	r.Lapse(r.overhead())
+}
+
+// Recv blocks until the local named mailbox is non-empty and dequeues the
+// oldest message.
+func (r *Rank) Recv(box string) []float64 {
+	mb := r.w.mailbox(r.ID(), box)
+	t0 := r.p.Now()
+	for len(mb.queue) == 0 {
+		r.p.Wait(mb.cond)
+	}
+	r.chargeWait(r.p.Now() - t0)
+	msg := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return msg
+}
+
+func (w *World) mailbox(rank int, name string) *mailbox {
+	mb, ok := w.boxes[rank][name]
+	if !ok {
+		mb = &mailbox{cond: w.k.NewCond()}
+		w.boxes[rank][name] = mb
+	}
+	return mb
+}
+
+func (w *World) flag(rank int, name string) *flagVar {
+	fv, ok := w.flags[rank][name]
+	if !ok {
+		fv = &flagVar{cond: w.k.NewCond()}
+		w.flags[rank][name] = fv
+	}
+	return fv
+}
+
+func (w *World) kernel() *sim.Kernel { return w.k }
+
+func (r *Rank) overhead() float64 { return r.w.spec.Net.OverheadSec }
+
+// Handle represents an outstanding split-phase operation.
+type Handle struct {
+	r    *Rank
+	done float64
+}
+
+// Wait blocks until the operation's completion time.
+func (h *Handle) Wait() {
+	t0 := h.r.p.Now()
+	h.r.p.AdvanceTo(h.done)
+	h.r.chargeWait(h.r.p.Now() - t0)
+}
+
+// Done reports whether the operation has already completed.
+func (h *Handle) Done() bool { return h.r.p.Now() >= h.done }
+
+// WaitAll waits for every handle.
+func WaitAll(hs ...*Handle) {
+	for _, h := range hs {
+		h.Wait()
+	}
+}

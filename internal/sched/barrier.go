@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier is a reusable sense-reversing barrier for a fixed party count.
+// Wait blocks (parking the goroutine) until all parties arrive — the
+// energy-frugal waiting discipline.
+type Barrier struct {
+	parties int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	sense   bool
+}
+
+// NewBarrier creates a barrier for the given number of parties (minimum 1).
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		parties = 1
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties have called Wait for this cycle.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	sense := b.sense
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.sense = !b.sense
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for sense == b.sense {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// SpinBarrier is the same sense-reversing barrier with busy-wait arrival —
+// lower latency, but every waiting core burns full power (the W10
+// anti-pattern on real hardware).
+type SpinBarrier struct {
+	parties int64
+	count   int64
+	sense   int64
+}
+
+// NewSpinBarrier creates a spin barrier for the given party count.
+func NewSpinBarrier(parties int) *SpinBarrier {
+	if parties < 1 {
+		parties = 1
+	}
+	return &SpinBarrier{parties: int64(parties)}
+}
+
+// Wait spins until all parties have arrived.
+func (b *SpinBarrier) Wait() {
+	sense := atomic.LoadInt64(&b.sense)
+	if atomic.AddInt64(&b.count, 1) == b.parties {
+		atomic.StoreInt64(&b.count, 0)
+		atomic.StoreInt64(&b.sense, sense+1)
+		return
+	}
+	for atomic.LoadInt64(&b.sense) == sense {
+		runtime.Gosched()
+	}
+}

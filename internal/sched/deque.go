@@ -1,0 +1,60 @@
+// Package sched is the measured-plane parallel runtime: a fixed worker
+// pool, loop schedulers (static, chunked, guided, work stealing), a
+// work-stealing task deque, and barrier primitives — the machinery needed
+// to demonstrate load imbalance (W4), serialisation (W5), and spin-versus-
+// block waiting (W10) on real goroutines with trace attribution.
+package sched
+
+import "sync"
+
+// Deque is a double-ended work-stealing queue: the owner pushes and pops at
+// the bottom (LIFO, for locality); thieves steal from the top (FIFO, for
+// coarse-grained steals). This implementation guards both ends with a
+// mutex — correct under any interleaving and fast enough for the
+// experiments, which measure scheduling *policy* differences, not deque
+// micro-costs.
+type Deque struct {
+	mu    sync.Mutex
+	items []func()
+}
+
+// PushBottom adds a task at the owner's end.
+func (d *Deque) PushBottom(task func()) {
+	d.mu.Lock()
+	d.items = append(d.items, task)
+	d.mu.Unlock()
+}
+
+// PopBottom removes the most recently pushed task (owner end).
+func (d *Deque) PopBottom() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// Steal removes the oldest task (thief end).
+func (d *Deque) Steal() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return t, true
+}
+
+// Len returns the current task count.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

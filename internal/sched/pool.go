@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tenways/internal/trace"
+)
+
+// Pool executes parallel loops over [0, n) with a fixed number of workers
+// under a choice of scheduling policies. An optional trace.Recorder
+// attributes each worker's time to compute versus waiting versus stealing.
+type Pool struct {
+	workers int
+	rec     *trace.Recorder
+}
+
+// NewPool creates a pool of the given width (minimum 1). rec may be nil.
+func NewPool(workers int, rec *trace.Recorder) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, rec: rec}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) add(worker int, cat trace.Category, d time.Duration) {
+	if p.rec != nil {
+		p.rec.Add(worker, cat, d)
+	}
+}
+
+// addSince charges [start, now) with span retention when enabled.
+func (p *Pool) addSince(worker int, cat trace.Category, start time.Time) {
+	if p.rec != nil {
+		p.rec.AddInterval(worker, cat, start, time.Now())
+	}
+}
+
+// ForEachStatic runs body(i) for i in [0, n) under a static block
+// partition: worker w gets one contiguous block. This is the wasteful
+// choice under skewed per-iteration costs (W4).
+func (p *Pool) ForEachStatic(n int, body func(i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		lo := w * n / p.workers
+		hi := (w + 1) * n / p.workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+			p.addSince(w, trace.Compute, t0)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	p.chargeImbalanceIdle()
+}
+
+// chargeImbalanceIdle charges each worker's idle-at-the-join time: the gap
+// between its own busy time and the busiest worker's, an approximation
+// computed from the recorder. Without a recorder it is a no-op.
+func (p *Pool) chargeImbalanceIdle() {
+	if p.rec == nil {
+		return
+	}
+	b := p.rec.Breakdown()
+	var max time.Duration
+	for _, w := range b.PerWorker {
+		if busy := w.Busy(); busy > max {
+			max = busy
+		}
+	}
+	for w, wt := range b.PerWorker {
+		if gap := max - wt.Busy() - wt.ByCategory[trace.Idle]; gap > 0 {
+			p.rec.Add(w, trace.Idle, gap)
+		}
+	}
+}
+
+// ForEachChunked runs body(i) with workers pulling fixed-size chunks from a
+// shared counter (dynamic self-scheduling).
+func (p *Pool) ForEachChunked(n, chunk int, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+			p.addSince(w, trace.Compute, t0)
+		}(w)
+	}
+	wg.Wait()
+	p.chargeImbalanceIdle()
+}
+
+// ForEachGuided runs body(i) under guided self-scheduling: chunk sizes
+// decay as remaining/(2·workers), bounded below by minChunk.
+func (p *Pool) ForEachGuided(n, minChunk int, body func(i int)) {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				cur := atomic.LoadInt64(&next)
+				if int(cur) >= n {
+					break
+				}
+				remaining := n - int(cur)
+				chunk := remaining / (2 * p.workers)
+				if chunk < minChunk {
+					chunk = minChunk
+				}
+				if !atomic.CompareAndSwapInt64(&next, cur, cur+int64(chunk)) {
+					continue
+				}
+				lo := int(cur)
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+			p.addSince(w, trace.Compute, t0)
+		}(w)
+	}
+	wg.Wait()
+	p.chargeImbalanceIdle()
+}
+
+// rangeTask is a stealable iteration range.
+type rangeTask struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// grab takes up to k iterations from the bottom, returning an empty range
+// when exhausted.
+func (r *rangeTask) grab(k int) (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lo >= r.hi {
+		return 0, 0
+	}
+	hi := r.lo + k
+	if hi > r.hi {
+		hi = r.hi
+	}
+	lo := r.lo
+	r.lo = hi
+	return lo, hi
+}
+
+// stealHalf takes the upper half of the remaining range.
+func (r *rangeTask) stealHalf() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rem := r.hi - r.lo
+	if rem <= 1 {
+		return 0, 0
+	}
+	mid := r.lo + rem/2
+	lo, hi := mid, r.hi
+	r.hi = mid
+	return lo, hi
+}
+
+// ForEachStealing runs body(i) with per-worker iteration ranges and
+// Cilk-style half-range stealing: a worker that exhausts its range steals
+// the upper half of a victim's remaining range. grain is the number of
+// iterations taken per local grab.
+func (p *Pool) ForEachStealing(n, grain int, body func(i int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	ranges := make([]*rangeTask, p.workers)
+	for w := 0; w < p.workers; w++ {
+		ranges[w] = &rangeTask{lo: w * n / p.workers, hi: (w + 1) * n / p.workers}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			my := ranges[w]
+			for {
+				lo, hi := my.grab(grain)
+				if lo == hi {
+					// Steal: scan victims round-robin from w+1.
+					tSteal := time.Now()
+					stolen := false
+					for off := 1; off < p.workers; off++ {
+						v := ranges[(w+off)%p.workers]
+						if slo, shi := v.stealHalf(); slo != shi {
+							my.mu.Lock()
+							my.lo, my.hi = slo, shi
+							my.mu.Unlock()
+							stolen = true
+							break
+						}
+					}
+					p.addSince(w, trace.Steal, tSteal)
+					if !stolen {
+						return
+					}
+					continue
+				}
+				t0 := time.Now()
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+				p.addSince(w, trace.Compute, t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.chargeImbalanceIdle()
+}
+
+// RunTasks executes arbitrary tasks under deque-based work stealing: tasks
+// are dealt round-robin onto per-worker deques; owners pop LIFO, thieves
+// steal FIFO.
+func (p *Pool) RunTasks(tasks []func()) {
+	deques := make([]*Deque, p.workers)
+	for w := range deques {
+		deques[w] = &Deque{}
+	}
+	for i, t := range tasks {
+		deques[i%p.workers].PushBottom(t)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok := deques[w].PopBottom()
+				if !ok {
+					tSteal := time.Now()
+					for off := 1; off < p.workers; off++ {
+						if task, ok = deques[(w+off)%p.workers].Steal(); ok {
+							break
+						}
+					}
+					p.addSince(w, trace.Steal, tSteal)
+					if !ok {
+						return
+					}
+				}
+				t0 := time.Now()
+				task()
+				p.addSince(w, trace.Compute, t0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	p.chargeImbalanceIdle()
+}

@@ -1,0 +1,267 @@
+// Package sim is a deterministic process-based discrete-event simulation
+// kernel. Each simulated process runs as its own goroutine written in plain
+// sequential Go, but the kernel resumes exactly one at a time, advancing a
+// shared virtual clock; simultaneous events are ordered by schedule sequence
+// number, so a run is reproducible bit-for-bit regardless of host scheduling.
+//
+// The kernel provides three primitives, from which the pgas and collective
+// packages build a message-passing machine model:
+//
+//   - Proc.Advance / Proc.AdvanceTo: consume virtual time.
+//   - Kernel.At: run a closure at a future virtual time (message delivery).
+//   - Cond: block a process until another process or closure wakes it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled occurrence: either a process resumption or a
+// kernel-context closure.
+type event struct {
+	time float64
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel owns the virtual clock and event queue. A Kernel may be used for
+// one Run at a time; create a fresh one per simulation.
+type Kernel struct {
+	now    float64
+	pq     eventHeap
+	seq    uint64
+	yield  chan *Proc
+	nlive  int // procs started and not yet finished
+	events uint64
+}
+
+// NewKernel returns an idle kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan *Proc)}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Events returns the number of events dispatched so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// At schedules fn to run in kernel context at virtual time t. Scheduling in
+// the past is clamped to the current time. Safe to call from process
+// context or from another At closure.
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, event{time: t, seq: k.seq, fn: fn})
+}
+
+// scheduleProc enqueues a process resumption.
+func (k *Kernel) scheduleProc(t float64, p *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, event{time: t, seq: k.seq, proc: p})
+}
+
+// Proc is one simulated process. Its methods may only be called from the
+// process's own body function.
+type Proc struct {
+	k        *Kernel
+	id       int
+	resume   chan struct{}
+	finished bool
+	err      error
+	blocked  bool // waiting on a Cond (not in the event queue)
+}
+
+// ID returns the process index in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// Blocked reports whether the process is currently waiting on a Cond (for
+// deadlock debugging; only meaningful when inspected from kernel context,
+// i.e. an At closure).
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Advance consumes dt seconds of virtual time. Negative dt is an error in
+// the cost model and panics.
+func (p *Proc) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative advance %g", dt))
+	}
+	p.k.scheduleProc(p.k.now+dt, p)
+	p.yieldToKernel()
+}
+
+// AdvanceTo advances the clock to t if t is in the future; otherwise it is
+// a no-op (the process does not yield).
+func (p *Proc) AdvanceTo(t float64) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.scheduleProc(t, p)
+	p.yieldToKernel()
+}
+
+// Yield reschedules the process at the current time, letting other
+// ready processes run first.
+func (p *Proc) Yield() {
+	p.k.scheduleProc(p.k.now, p)
+	p.yieldToKernel()
+}
+
+func (p *Proc) yieldToKernel() {
+	p.k.yield <- p
+	<-p.resume
+}
+
+// Cond is a simulation-time condition variable: processes Wait on it and
+// are woken, in FIFO order, by Signal or Broadcast.
+type Cond struct {
+	k       *Kernel
+	waiting []*Proc
+}
+
+// NewCond creates a condition variable bound to the kernel.
+func (k *Kernel) NewCond() *Cond { return &Cond{k: k} }
+
+// Wait blocks the process until the cond is signalled. The process is not
+// in the event queue while waiting; a never-signalled cond deadlocks, which
+// Run reports as an error.
+func (p *Proc) Wait(c *Cond) {
+	c.waiting = append(c.waiting, p)
+	p.blocked = true
+	p.yieldToKernel()
+	p.blocked = false
+}
+
+// Broadcast wakes all waiting processes at the current virtual time.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiting {
+		c.k.scheduleProc(c.k.now, p)
+	}
+	c.waiting = c.waiting[:0]
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiting) == 0 {
+		return
+	}
+	p := c.waiting[0]
+	c.waiting = c.waiting[1:]
+	c.k.scheduleProc(c.k.now, p)
+}
+
+// Waiting returns how many processes are blocked on the cond.
+func (c *Cond) Waiting() int { return len(c.waiting) }
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked.
+type DeadlockError struct {
+	Blocked int
+	Time    float64
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked processes", e.Time, e.Blocked)
+}
+
+// PanicError wraps a panic raised inside a process body.
+type PanicError struct {
+	ProcID int
+	Value  interface{}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %d panicked: %v", e.ProcID, e.Value)
+}
+
+// Run starts n processes executing body and drives the simulation until all
+// finish or no event remains. It returns the final virtual time and the
+// first error (deadlock or process panic).
+func (k *Kernel) Run(n int, body func(p *Proc)) (float64, error) {
+	if n < 1 {
+		return k.now, fmt.Errorf("sim: need at least one process, got %d", n)
+	}
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		p := &Proc{k: k, id: i, resume: make(chan struct{})}
+		procs[i] = p
+		k.nlive++
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = &PanicError{ProcID: p.id, Value: r}
+				}
+				p.finished = true
+				k.yield <- p
+			}()
+			body(p)
+		}()
+		k.scheduleProc(0, p)
+	}
+
+	var firstErr error
+	for k.pq.Len() > 0 {
+		ev := heap.Pop(&k.pq).(event)
+		k.now = ev.time
+		k.events++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.proc
+		if p.finished {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+		if p.finished {
+			k.nlive--
+			if p.err != nil && firstErr == nil {
+				firstErr = p.err
+			}
+		}
+	}
+	if firstErr != nil {
+		return k.now, firstErr
+	}
+	if k.nlive > 0 {
+		// Deadlocked process goroutines remain parked on their resume
+		// channels for the life of the program; a deadlock is always a
+		// bug in the simulated program, so callers treat it as fatal.
+		return k.now, &DeadlockError{Blocked: k.nlive, Time: k.now}
+	}
+	return k.now, nil
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcAdvance(t *testing.T) {
+	k := NewKernel()
+	end, err := k.Run(1, func(p *Proc) {
+		p.Advance(1.5)
+		p.Advance(0.5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2.0 {
+		t.Fatalf("end time = %g, want 2", end)
+	}
+}
+
+func TestAdvanceToPastIsNoop(t *testing.T) {
+	k := NewKernel()
+	end, err := k.Run(1, func(p *Proc) {
+		p.Advance(5)
+		p.AdvanceTo(3) // in the past: no-op
+		p.AdvanceTo(7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 7 {
+		t.Fatalf("end = %g, want 7", end)
+	}
+}
+
+func TestNegativeAdvancePanicsIntoError(t *testing.T) {
+	k := NewKernel()
+	_, err := k.Run(1, func(p *Proc) {
+		p.Advance(-1)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected PanicError, got %v", err)
+	}
+}
+
+func TestZeroProcsRejected(t *testing.T) {
+	if _, err := NewKernel().Run(0, func(*Proc) {}); err == nil {
+		t.Fatal("expected error for 0 processes")
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		var order []int
+		k := NewKernel()
+		_, err := k.Run(3, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(1)
+				order = append(order, p.ID())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := run()
+	b := run()
+	if len(a) != 9 {
+		t.Fatalf("expected 9 steps, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", a, b)
+		}
+	}
+	// Equal-time events dispatch in schedule order: 0,1,2 each round.
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 3; i++ {
+			if a[r*3+i] != i {
+				t.Fatalf("round %d order = %v", r, a[:9])
+			}
+		}
+	}
+}
+
+func TestAtClosureRunsAtScheduledTime(t *testing.T) {
+	k := NewKernel()
+	var fired float64 = -1
+	_, err := k.Run(1, func(p *Proc) {
+		k.At(2.5, func() { fired = k.Now() })
+		p.Advance(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2.5 {
+		t.Fatalf("closure fired at %g, want 2.5", fired)
+	}
+}
+
+func TestAtInPastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var fired float64 = -1
+	_, err := k.Run(1, func(p *Proc) {
+		p.Advance(3)
+		k.At(1, func() { fired = k.Now() })
+		p.Advance(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("past closure fired at %g, want 3 (clamped)", fired)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond()
+	var woke []float64
+	_, err := k.Run(4, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Advance(10)
+			c.Broadcast()
+			return
+		}
+		p.Wait(c)
+		woke = append(woke, p.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d procs, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 10 {
+			t.Fatalf("woke at %g, want 10", w)
+		}
+	}
+}
+
+func TestCondSignalWakesOneFIFO(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond()
+	var woke []int
+	_, err := k.Run(3, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Advance(1)
+			if c.Waiting() != 2 {
+				t.Errorf("waiting = %d, want 2", c.Waiting())
+			}
+			c.Signal()
+			p.Advance(1)
+			c.Signal()
+		default:
+			p.Wait(c)
+			woke = append(woke, p.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 2 || woke[0] != 1 || woke[1] != 2 {
+		t.Fatalf("wake order = %v, want [1 2]", woke)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond()
+	_, err := k.Run(2, func(p *Proc) {
+		if p.ID() == 1 {
+			p.Wait(c) // never signalled
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if de.Blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", de.Blocked)
+	}
+}
+
+func TestMessagePingPong(t *testing.T) {
+	// Two processes exchange "messages" via At-delivered flags; the round
+	// trip time must be 2×latency per round.
+	const latency = 1e-6
+	const rounds = 5
+	k := NewKernel()
+	conds := [2]*Cond{k.NewCond(), k.NewCond()}
+	arrived := [2]int{}
+	end, err := k.Run(2, func(p *Proc) {
+		me := p.ID()
+		other := 1 - me
+		for r := 0; r < rounds; r++ {
+			if me == 0 {
+				k.At(p.Now()+latency, func() {
+					arrived[other]++
+					conds[other].Broadcast()
+				})
+				for arrived[me] <= r {
+					p.Wait(conds[me])
+				}
+			} else {
+				for arrived[me] <= r {
+					p.Wait(conds[me])
+				}
+				k.At(p.Now()+latency, func() {
+					arrived[other]++
+					conds[other].Broadcast()
+				})
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * latency * rounds
+	if math.Abs(end-want) > 1e-12 {
+		t.Fatalf("end = %g, want %g", end, want)
+	}
+}
+
+func TestYieldRoundRobinsEqualTimeProcs(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	_, err := k.Run(2, func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			order = append(order, p.ID())
+			p.Yield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Property: for random advance sequences across random process counts,
+	// observed times are non-decreasing and the final time equals the max
+	// cumulative advance.
+	f := func(steps []uint8, nProcsRaw uint8) bool {
+		n := int(nProcsRaw%4) + 1
+		k := NewKernel()
+		last := -1.0
+		maxTotal := 0.0
+		mono := int32(1)
+		_, err := k.Run(n, func(p *Proc) {
+			total := 0.0
+			for i, s := range steps {
+				if i%n != p.ID() {
+					continue
+				}
+				dt := float64(s) / 255.0
+				p.Advance(dt)
+				total += dt
+				if p.Now() < last {
+					atomic.StoreInt32(&mono, 0)
+				}
+				last = p.Now()
+			}
+			if total > maxTotal {
+				maxTotal = total
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return mono == 1 && math.Abs(k.Now()-maxTotal) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	k := NewKernel()
+	_, err := k.Run(1, func(p *Proc) { p.Advance(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Events() < 2 {
+		t.Fatalf("events = %d, want >= 2", k.Events())
+	}
+}

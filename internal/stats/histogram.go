@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Min, Max); samples outside
+// the range are clamped into the edge bins so counts are never lost.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with the given bin count over [min, max).
+// It panics on a non-positive bin count or an empty range — both are
+// programming errors, not data conditions.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(max > min) {
+		panic("stats: histogram needs max > min")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) as a bin center,
+// or NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.Counts) - 1)
+}
+
+// String renders a compact sparkline-style view: one character per bin
+// scaled to the fullest bin.
+func (h *Histogram) String() string {
+	levels := []rune(" .:-=+*#%@")
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%g,%g) n=%d |", h.Min, h.Max, h.total)
+	for _, c := range h.Counts {
+		idx := 0
+		if max > 0 {
+			idx = c * (len(levels) - 1) / max
+		}
+		b.WriteRune(levels[idx])
+	}
+	b.WriteString("|")
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs by sorting a
+// copy — exact, for small samples where a histogram is overkill. Returns
+// NaN on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count = %d", i, c)
+		}
+	}
+	if h.BinCenter(0) != 0.5 || h.BinCenter(9) != 9.5 {
+		t.Fatalf("bin centers wrong: %g %g", h.BinCenter(0), h.BinCenter(9))
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-100)
+	h.Add(100)
+	h.Add(math.NaN()) // dropped
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("edge clamping failed: %v", h.Counts)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("NaN counted: %d", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %g", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-99) > 1.5 {
+		t.Fatalf("p99 = %g", q)
+	}
+	var empty Histogram
+	empty.Counts = []int{0}
+	empty.Max = 1
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(5)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q not clamped")
+	}
+}
+
+func TestHistogramPanicsOnBadGeometry(t *testing.T) {
+	for _, build := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(3.5)
+	s := h.String()
+	if !strings.Contains(s, "n=3") || !strings.Contains(s, "|") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Fatalf("p0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Fatalf("p100 = %g", p)
+	}
+	if p := Percentile(xs, 50); p != 30 {
+		t.Fatalf("p50 = %g", p)
+	}
+	if p := Percentile(xs, 25); p != 20 {
+		t.Fatalf("p25 = %g", p)
+	}
+	// Interpolation between ranks.
+	if p := Percentile([]float64{0, 10}, 50); p != 5 {
+		t.Fatalf("interpolated p50 = %g", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Input must not be mutated.
+	xs2 := []float64{3, 1, 2}
+	Percentile(xs2, 50)
+	if xs2[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: the histogram quantile matches the exact nearest-rank quantile
+// (the same step-function definition) within one bin width.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint8, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(0, 256, 64)
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			h.Add(xs[i])
+		}
+		q := float64(qRaw%101) / 100
+		approx := h.Quantile(q)
+		// Nearest-rank reference: the ceil(q·n)-th smallest sample.
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := sorted[rank-1]
+		binW := 256.0 / 64
+		return math.Abs(approx-exact) <= binW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

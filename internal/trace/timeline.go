@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one contiguous interval of a worker's time in a category,
+// expressed as offsets from the recorder's start.
+type Span struct {
+	Worker int
+	Cat    Category
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// EnableSpans turns on span recording with a cap on retained spans
+// (oldest kept; further spans still update the counters but are not
+// retained). Call before the workload starts.
+func (r *Recorder) EnableSpans(max int) {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	r.spansOn = true
+	if max < 1 {
+		max = 1
+	}
+	r.spanCap = max
+}
+
+// AddInterval charges [start, end) to the worker's category, recording a
+// span when span recording is enabled. It is the preferred attribution
+// call for schedulers, since it preserves the timeline.
+func (r *Recorder) AddInterval(worker int, cat Category, start, end time.Time) {
+	if end.Before(start) {
+		start, end = end, start
+	}
+	r.Add(worker, cat, end.Sub(start))
+	if !r.spansOn {
+		return
+	}
+	r.spanMu.Lock()
+	if len(r.spans) < r.spanCap {
+		r.spans = append(r.spans, Span{
+			Worker: worker,
+			Cat:    cat,
+			Start:  start.Sub(r.started),
+			End:    end.Sub(r.started),
+		})
+	}
+	r.spanMu.Unlock()
+}
+
+// Spans returns the retained spans sorted by start time (ties by worker).
+func (r *Recorder) Spans() []Span {
+	r.spanMu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// WriteTimelineCSV emits the retained spans as
+// "worker,category,start_us,end_us" rows — a Gantt chart's input.
+func (r *Recorder) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "worker,category,start_us,end_us"); err != nil {
+		return err
+	}
+	for _, s := range r.Spans() {
+		_, err := fmt.Fprintf(w, "%d,%s,%.1f,%.1f\n",
+			s.Worker, s.Cat,
+			float64(s.Start)/float64(time.Microsecond),
+			float64(s.End)/float64(time.Microsecond))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanState holds the optional span machinery; it lives in Recorder.
+type spanState struct {
+	spanMu  sync.Mutex
+	spansOn bool
+	spanCap int
+	spans   []Span
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddIntervalRecordsCounterAndSpan(t *testing.T) {
+	r := NewRecorder(2)
+	r.EnableSpans(10)
+	base := r.started
+	r.AddInterval(1, Compute, base.Add(time.Millisecond), base.Add(3*time.Millisecond))
+	b := r.Breakdown()
+	if b.Of(Compute) != 2*time.Millisecond {
+		t.Fatalf("counter = %v", b.Of(Compute))
+	}
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Worker != 1 || s.Cat != Compute {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Start != time.Millisecond || s.End != 3*time.Millisecond {
+		t.Fatalf("span bounds = %v..%v", s.Start, s.End)
+	}
+	if s.Duration() != 2*time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+}
+
+func TestAddIntervalSwapsReversedBounds(t *testing.T) {
+	r := NewRecorder(1)
+	base := r.started
+	r.AddInterval(0, SyncWait, base.Add(5*time.Millisecond), base.Add(2*time.Millisecond))
+	if got := r.Breakdown().Of(SyncWait); got != 3*time.Millisecond {
+		t.Fatalf("reversed interval = %v", got)
+	}
+}
+
+func TestSpansCapRespected(t *testing.T) {
+	r := NewRecorder(1)
+	r.EnableSpans(3)
+	base := r.started
+	for i := 0; i < 10; i++ {
+		r.AddInterval(0, Compute, base, base.Add(time.Millisecond))
+	}
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("retained %d spans, want 3", got)
+	}
+	// Counters keep accumulating past the cap.
+	if got := r.Breakdown().Of(Compute); got != 10*time.Millisecond {
+		t.Fatalf("counter = %v", got)
+	}
+}
+
+func TestSpansDisabledByDefault(t *testing.T) {
+	r := NewRecorder(1)
+	r.AddInterval(0, Compute, r.started, r.started.Add(time.Millisecond))
+	if len(r.Spans()) != 0 {
+		t.Fatal("spans recorded without EnableSpans")
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	r := NewRecorder(2)
+	r.EnableSpans(10)
+	base := r.started
+	r.AddInterval(0, Compute, base.Add(5*time.Millisecond), base.Add(6*time.Millisecond))
+	r.AddInterval(1, Compute, base.Add(1*time.Millisecond), base.Add(2*time.Millisecond))
+	spans := r.Spans()
+	if spans[0].Worker != 1 || spans[1].Worker != 0 {
+		t.Fatalf("spans not sorted: %+v", spans)
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.EnableSpans(10)
+	base := r.started
+	r.AddInterval(0, Steal, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	var sb strings.Builder
+	if err := r.WriteTimelineCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "worker,category,start_us,end_us\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0,steal,1000.0,2000.0") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestEnableSpansMinimumCap(t *testing.T) {
+	r := NewRecorder(1)
+	r.EnableSpans(0)
+	r.AddInterval(0, Compute, r.started, r.started.Add(time.Millisecond))
+	if len(r.Spans()) != 1 {
+		t.Fatal("cap of 0 should clamp to 1")
+	}
+}

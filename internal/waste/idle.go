@@ -1,0 +1,50 @@
+package waste
+
+import (
+	"fmt"
+
+	"tenways/internal/machine"
+)
+
+// IdleEnergy models a core that alternates busySec of useful work with
+// waitSec of waiting on an external system (I/O, a user, another service),
+// for rounds repetitions. spin selects busy-waiting (full power while
+// waiting) versus blocking (idle power). Shared by RunW10 and figure F10.
+func IdleEnergy(spec *machine.Spec, busySec, waitSec float64, rounds int, spin bool) Result {
+	total := float64(rounds) * (busySec + waitSec)
+	busy := float64(rounds) * busySec
+	wait := float64(rounds) * waitSec
+	var j float64
+	if spin {
+		j = spec.BusyEnergyJ(busy + wait)
+	} else {
+		j = spec.BusyEnergyJ(busy) + spec.IdleEnergyJ(wait)
+	}
+	style := "blocked"
+	if spin {
+		style = "spinning"
+	}
+	return Result{
+		Seconds: total,
+		Joules:  j,
+		Detail:  fmt.Sprintf("%s through %.0f%% idle", style, 100*wait/total),
+	}
+}
+
+// RunW10 contrasts spin-waiting on the machine as configured with blocked
+// waiting on its energy-proportional variant, for a 10%-duty-cycle
+// workload (compute 1 ms, wait 9 ms, 100 rounds). Wall time is identical
+// by construction; the whole factor is energy — the keynote's "per Joule"
+// point in its purest form.
+func RunW10(spec *machine.Spec) (Outcome, error) {
+	const (
+		busy   = 1e-3
+		wait   = 9e-3
+		rounds = 100
+	)
+	prop := spec.WithProportionalPower(0.1)
+	return Outcome{
+		Wasteful: IdleEnergy(spec, busy, wait, rounds, true),
+		Remedied: IdleEnergy(prop, busy, wait, rounds, false),
+	}, nil
+}

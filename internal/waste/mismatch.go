@@ -1,0 +1,36 @@
+package waste
+
+import (
+	"fmt"
+
+	"tenways/internal/machine"
+	"tenways/internal/roofline"
+)
+
+// MismatchRun models executing `flops` total flops at the given arithmetic
+// intensity on one node: time from the roofline bound, energy from flops
+// plus the implied DRAM traffic plus static power. Shared by RunW8 and the
+// F8 roofline figure's derived rows.
+func MismatchRun(spec *machine.Spec, flops, intensity float64) Result {
+	secs := roofline.TimeSec(spec, flops, intensity)
+	bytes := flops / intensity
+	j := spec.FlopEnergyJ(flops) + spec.DRAMEnergyJ(bytes) +
+		spec.BusyEnergyJ(secs)*float64(spec.CoresPerNode)
+	return Result{
+		Seconds: secs,
+		Joules:  j,
+		Detail:  fmt.Sprintf("AI=%.3g flops/byte (%s bound)", intensity, roofline.Classify(spec, "", intensity).Bound),
+	}
+}
+
+// RunW8 contrasts a streaming low-intensity formulation (triad-class,
+// AI = 1/12) with a blocked high-intensity formulation (AI = 8) of the
+// same 10¹⁰-flop computation. On every preset the low-AI form sits far
+// below the ridge point and pays for it in both time and DRAM energy.
+func RunW8(spec *machine.Spec) (Outcome, error) {
+	const flops = 1e10
+	return Outcome{
+		Wasteful: MismatchRun(spec, flops, 1.0/12),
+		Remedied: MismatchRun(spec, flops, 8),
+	}, nil
+}

@@ -1,0 +1,124 @@
+package waste
+
+import (
+	"fmt"
+
+	"tenways/internal/collective"
+	"tenways/internal/machine"
+	"tenways/internal/pgas"
+)
+
+// OversyncSweep simulates `steps`×`substeps` compute phases on p ranks
+// with deterministic per-rank jitter, synchronising each substep either
+// with a global dissemination barrier (wasteful) or with nearest-neighbour
+// signals (remedied). Shared by RunW3 and figure F3.
+func OversyncSweep(spec *machine.Spec, p, steps, substeps int, global bool) (Result, error) {
+	w := pgas.NewWorld(p, spec, nil, nil)
+	base := 2e-5 // seconds of compute per substep
+	makespan, err := w.Run(func(r *pgas.Rank) {
+		c := collective.New(r)
+		id := r.ID()
+		jitter := 1 + float64(id%7)/20
+		sync := int64(0)
+		for s := 0; s < steps*substeps; s++ {
+			r.Lapse(base * jitter)
+			if global {
+				c.BarrierDissemination()
+				continue
+			}
+			expect := int64(0)
+			if id > 0 {
+				r.Signal(id-1, "nb")
+				expect++
+			}
+			if id < p-1 {
+				r.Signal(id+1, "nb")
+				expect++
+			}
+			sync += expect
+			r.WaitSignal("nb", sync)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	style := "neighbour sync"
+	if global {
+		style = "global barrier"
+	}
+	return Result{
+		Seconds: makespan,
+		Joules:  w.Meter().Total(),
+		Detail:  fmt.Sprintf("%s, %d msgs", style, w.Stats().Messages+w.Stats().Signals),
+	}, nil
+}
+
+// RunW3 contrasts a global barrier per substep with neighbour-only
+// synchronisation on 64 ranks.
+func RunW3(spec *machine.Spec) (Outcome, error) {
+	const (
+		p        = 64
+		steps    = 10
+		substeps = 4
+	)
+	wasteful, err := OversyncSweep(spec, p, steps, substeps, true)
+	if err != nil {
+		return Outcome{}, err
+	}
+	remedied, err := OversyncSweep(spec, p, steps, substeps, false)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Wasteful: wasteful, Remedied: remedied}, nil
+}
+
+// Serialization models N updates applied by p cores. Locked: every update
+// acquires one global lock, so updates serialise and each acquisition
+// ping-pongs the lock's cache line between cores (one coherence transfer).
+// Sharded: each core updates a private accumulator and the p partials are
+// combined once. Shared by RunW5 and figure F5's modeled series.
+func Serialization(spec *machine.Spec, p, updates int, locked bool) Result {
+	flopsPerUpdate := 10.0
+	tUpdate := spec.FlopTimeSec(flopsPerUpdate)
+	// Lock handoff between cores costs a coherence line transfer; we use
+	// the deepest cache's latency as the transfer time, as the cache
+	// simulator does.
+	tLock := spec.CycleSec() * spec.Levels[len(spec.Levels)-1].LatencyCycles
+	var makespan, busyPer float64
+	if locked {
+		// The critical section serialises everything.
+		makespan = float64(updates) * (tUpdate + tLock)
+		busyPer = makespan / float64(p) // each core holds the lock 1/p of the time
+	} else {
+		perCore := (float64(updates)/float64(p))*tUpdate + float64(p)*tUpdate
+		makespan = perCore
+		busyPer = perCore
+	}
+	j := 0.0
+	for c := 0; c < p; c++ {
+		j += spec.BusyEnergyJ(busyPer) + spec.IdleEnergyJ(makespan-busyPer)
+	}
+	j += spec.FlopEnergyJ(flopsPerUpdate * float64(updates))
+	style := "sharded"
+	if locked {
+		style = "global lock"
+	}
+	return Result{
+		Seconds: makespan,
+		Joules:  j,
+		Detail:  fmt.Sprintf("%s, %d cores", style, p),
+	}
+}
+
+// RunW5 contrasts a global lock with sharded accumulation on one node.
+func RunW5(spec *machine.Spec) (Outcome, error) {
+	p := spec.CoresPerNode
+	if p < 2 {
+		p = 2
+	}
+	const updates = 1 << 20
+	return Outcome{
+		Wasteful: Serialization(spec, p, updates, true),
+		Remedied: Serialization(spec, p, updates, false),
+	}, nil
+}

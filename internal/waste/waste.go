@@ -1,0 +1,143 @@
+// Package waste implements the ten ways to waste a parallel computer as
+// executable demonstrators. Each Mode pairs a wasteful implementation with
+// its remedied counterpart; running a mode on a machine spec yields both
+// variants' modeled time and energy, from which the T1 summary table's
+// waste factors are computed.
+//
+// Demonstrators run on the modeled plane (cache simulator, PGAS/DES
+// runtime, analytic cost models) so the numbers are deterministic and
+// reflect the machine spec rather than the host. The measured-plane
+// counterparts for W4/W5/W9/W10 live in the bench harness.
+package waste
+
+import (
+	"fmt"
+
+	"tenways/internal/machine"
+)
+
+// Result is one variant's modeled cost.
+type Result struct {
+	Seconds float64
+	Joules  float64
+	Detail  string // human-readable note, e.g. bytes moved or messages sent
+}
+
+// Outcome pairs the two variants of one demonstrator.
+type Outcome struct {
+	Wasteful Result
+	Remedied Result
+}
+
+// TimeFactor returns wasteful/remedied time — how many times slower the
+// wasteful variant is.
+func (o Outcome) TimeFactor() float64 { return o.Wasteful.Seconds / o.Remedied.Seconds }
+
+// EnergyFactor returns wasteful/remedied energy.
+func (o Outcome) EnergyFactor() float64 { return o.Wasteful.Joules / o.Remedied.Joules }
+
+// Mode is one of the ten ways.
+type Mode struct {
+	ID           string // "W1".."W10"
+	Name         string
+	AbstractHook string // the sentence of the keynote abstract it reifies
+	Wasteful     string // what the wasteful variant does
+	Remedy       string // what the remedied variant does
+	Run          func(spec *machine.Spec) (Outcome, error)
+}
+
+// Modes returns the ten ways in canonical order.
+func Modes() []Mode {
+	return []Mode{
+		{
+			ID:           "W1",
+			Name:         "re-move data through the memory hierarchy",
+			AbstractHook: "software often moves data up and down the memory hierarchy ... multiple times",
+			Wasteful:     "naive triple-loop matmul streaming operands from DRAM every pass",
+			Remedy:       "cache-blocked matmul fetching each element O(n/b) fewer times",
+			Run:          RunW1,
+		},
+		{
+			ID:           "W2",
+			Name:         "send the same data across the network more than once",
+			AbstractHook: "or across a network multiple times",
+			Wasteful:     "halo exchange that re-fetches the neighbour's whole block every step",
+			Remedy:       "exchange only the boundary rows each step",
+			Run:          RunW2,
+		},
+		{
+			ID:           "W3",
+			Name:         "over-synchronise",
+			AbstractHook: "waste time and therefore energy waiting for ... synchronization",
+			Wasteful:     "global barrier after every substep",
+			Remedy:       "point-to-point neighbour signals only",
+			Run:          RunW3,
+		},
+		{
+			ID:           "W4",
+			Name:         "leave cores idle through load imbalance",
+			AbstractHook: "waste time and therefore energy waiting",
+			Wasteful:     "static block partition of power-law task costs",
+			Remedy:       "dynamic self-scheduling (greedy list scheduling)",
+			Run:          RunW4,
+		},
+		{
+			ID:           "W5",
+			Name:         "serialise on shared state",
+			AbstractHook: "waiting for ... interactions with ... other systems",
+			Wasteful:     "every update funnels through one global lock",
+			Remedy:       "sharded private state combined once at the end",
+			Run:          RunW5,
+		},
+		{
+			ID:           "W6",
+			Name:         "wait on latency instead of overlapping",
+			AbstractHook: "waste time and therefore energy waiting for communication",
+			Wasteful:     "blocking exchange, then compute",
+			Remedy:       "split-phase communication overlapped with compute",
+			Run:          RunW6,
+		},
+		{
+			ID:           "W7",
+			Name:         "send many small messages",
+			AbstractHook: "waiting for communication",
+			Wasteful:     "one message per element",
+			Remedy:       "aggregate into one bulk transfer",
+			Run:          RunW7,
+		},
+		{
+			ID:           "W8",
+			Name:         "mismatch the algorithm to the machine balance",
+			AbstractHook: "a design that is poorly matched to the computational requirements will end up being inefficient",
+			Wasteful:     "low-intensity streaming formulation far below the ridge point",
+			Remedy:       "high-intensity blocked formulation of the same computation",
+			Run:          RunW8,
+		},
+		{
+			ID:           "W9",
+			Name:         "ping-pong cache lines between cores",
+			AbstractHook: "moves data up and down the memory hierarchy ... multiple times",
+			Wasteful:     "per-core counters packed on one cache line (false sharing)",
+			Remedy:       "pad each counter to its own line",
+			Run:          RunW9,
+		},
+		{
+			ID:           "W10",
+			Name:         "burn energy while idle",
+			AbstractHook: "interactions with users or other systems ... how much science can be done per Joule",
+			Wasteful:     "spin-wait at full power on a non-proportional machine",
+			Remedy:       "blocking wait on an energy-proportional machine",
+			Run:          RunW10,
+		},
+	}
+}
+
+// ByID returns the mode with the given ID, or an error.
+func ByID(id string) (Mode, error) {
+	for _, m := range Modes() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Mode{}, fmt.Errorf("waste: unknown mode %q", id)
+}

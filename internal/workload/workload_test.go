@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds too correlated: %d collisions", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRand(11)
+	n := 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %g", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(13)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("exp mean = %g", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfMeanAndSkew(t *testing.T) {
+	d := NewTaskDist(5)
+	costs := d.Zipf(1000, 1.2, 10)
+	sum := 0.0
+	for _, c := range costs {
+		if c <= 0 {
+			t.Fatal("non-positive cost")
+		}
+		sum += c
+	}
+	if mean := sum / 1000; math.Abs(mean-10) > 1e-9 {
+		t.Fatalf("mean = %g, want 10", mean)
+	}
+	if Skew(costs) < 5 {
+		t.Fatalf("zipf s=1.2 should be heavily skewed, skew = %g", Skew(costs))
+	}
+	uniform := d.Uniform(1000, 10)
+	if Skew(uniform) != 1 {
+		t.Fatalf("uniform skew = %g", Skew(uniform))
+	}
+}
+
+func TestZipfSkewIncreasesWithS(t *testing.T) {
+	d := NewTaskDist(5)
+	s0 := Skew(d.Zipf(500, 0, 1))
+	s1 := Skew(d.Zipf(500, 0.8, 1))
+	s2 := Skew(d.Zipf(500, 1.6, 1))
+	if !(s0 <= s1 && s1 < s2) {
+		t.Fatalf("skew not increasing: %g %g %g", s0, s1, s2)
+	}
+}
+
+func TestZipfSortedDescending(t *testing.T) {
+	d := NewTaskDist(9)
+	costs := d.ZipfSorted(100, 1, 5)
+	for i := 1; i < len(costs); i++ {
+		if costs[i] > costs[i-1] {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	d := NewTaskDist(1)
+	costs := d.Bimodal(100, 0.1, 1, 50)
+	heavy := 0
+	for _, c := range costs {
+		switch c {
+		case 1:
+		case 50:
+			heavy++
+		default:
+			t.Fatalf("unexpected cost %g", c)
+		}
+	}
+	if heavy != 10 {
+		t.Fatalf("heavy count = %d", heavy)
+	}
+}
+
+func TestSkewEmpty(t *testing.T) {
+	if Skew(nil) != 0 {
+		t.Fatal("empty skew should be 0")
+	}
+}
+
+func TestRandomCSRValid(t *testing.T) {
+	m := RandomCSR(7, 100, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 || m.NNZ() > 100*8 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	// [[1 2][0 3]] * [1 1] = [3 3]
+	m := &CSR{Rows: 2, Cols: 2, RowPtr: []int{0, 2, 3},
+		ColIdx: []int{0, 1, 1}, Vals: []float64{1, 2, 3}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 2)
+	m.MulVec([]float64{1, 1}, y)
+	if y[0] != 3 || y[1] != 3 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	m := RandomCSR(7, 10, 3)
+	m.ColIdx[0] = 99
+	if m.Validate() == nil {
+		t.Fatal("expected error on bad column")
+	}
+	m2 := RandomCSR(7, 10, 3)
+	m2.RowPtr[5] = m2.RowPtr[6] + 1
+	if m2.Validate() == nil {
+		t.Fatal("expected error on non-monotone RowPtr")
+	}
+}
+
+func TestPowerLawCSRSkew(t *testing.T) {
+	m := PowerLawCSR(3, 200, 100, 1.0)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rowLens := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		rowLens[i] = float64(m.RowPtr[i+1] - m.RowPtr[i])
+	}
+	if Skew(rowLens) < 3 {
+		t.Fatalf("power-law rows should be skewed, skew = %g", Skew(rowLens))
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(17, 8, 8) // 256 vertices, ~2048 edges
+	if g.N != 256 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() != 8*256 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 8*256)
+	}
+	// Scale-free shape: max out-degree far above mean.
+	max := 0
+	for u, a := range g.Adj {
+		for i := 1; i < len(a); i++ {
+			if a[i] == a[i-1] {
+				t.Fatalf("duplicate edge at %d", u)
+			}
+		}
+		for _, v := range a {
+			if v == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			if v < 0 || v >= g.N {
+				t.Fatalf("edge out of range")
+			}
+		}
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	if max < 3*8 {
+		t.Fatalf("RMAT max degree %d not skewed vs mean 8", max)
+	}
+}
+
+func TestUniformGraph(t *testing.T) {
+	g := UniformGraph(5, 64, 4)
+	for u, a := range g.Adj {
+		if len(a) != 4 {
+			t.Fatalf("vertex %d degree %d", u, len(a))
+		}
+		for _, v := range a {
+			if v == u {
+				t.Fatal("self loop")
+			}
+		}
+	}
+}
+
+func TestParticles(t *testing.T) {
+	xs, ys := Particles(9, 1000, false)
+	if len(xs) != 1000 || len(ys) != 1000 {
+		t.Fatal("wrong length")
+	}
+	for i := range xs {
+		if xs[i] < 0 || xs[i] >= 1 || ys[i] < 0 || ys[i] >= 1 {
+			t.Fatal("out of box")
+		}
+	}
+	cx, cy := Particles(9, 1000, true)
+	inCorner := 0
+	for i := range cx {
+		if cx[i] < 0.1 && cy[i] < 0.1 {
+			inCorner++
+		}
+	}
+	if inCorner < 750 {
+		t.Fatalf("clustered particles not clustered: %d in corner", inCorner)
+	}
+}
+
+// Property: CSR generators always produce structurally valid matrices.
+func TestCSRGeneratorsValidProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, nnzRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		nnz := int(nnzRaw)%8 + 1
+		if RandomCSR(seed, n, nnz).Validate() != nil {
+			return false
+		}
+		return PowerLawCSR(seed, n, nnz*4, 0.8).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleConserves(t *testing.T) {
+	r := NewRand(2)
+	xs := []float64{1, 2, 3, 4, 5}
+	sum := 15.0
+	r.Shuffle(xs)
+	got := 0.0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatal("shuffle lost elements")
+	}
+}

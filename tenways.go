@@ -1,0 +1,186 @@
+// Package tenways is a laboratory for the ten ways to waste a parallel
+// computer (Yelick, ISCA 2009 keynote). It pairs each canonical waste mode
+// with a wasteful and a remedied implementation, models their time and —
+// central to the keynote — their energy on parameterised machines from a
+// 2009 laptop to a projected exascale node, and regenerates the full
+// evaluation suite of tables and figures described in DESIGN.md.
+//
+// Three entry points cover most uses:
+//
+//   - Wastes and RunWaste: the catalogue of the ten modes and their
+//     demonstrators on a chosen machine.
+//   - NewLab: the experiment registry; Run("T1", ...) through
+//     Run("F21", ...) regenerate every table and figure.
+//   - Audit: run your own parallel loop under the instrumented runtime and
+//     get a diagnosis of which wastes it exhibits.
+//
+// The heavy machinery (cache and network simulators, the PGAS runtime, the
+// collectives, the kernels) lives under internal/; this package re-exports
+// the stable surface.
+package tenways
+
+import (
+	"tenways/internal/collective"
+	"tenways/internal/core"
+	"tenways/internal/machine"
+	"tenways/internal/pgas"
+	"tenways/internal/sched"
+	"tenways/internal/trace"
+	"tenways/internal/waste"
+	"tenways/internal/workload"
+)
+
+// Machine is a parameterised machine description (cores, clock, caches,
+// DRAM, interconnect, energy constants). Build your own or use a preset.
+type Machine = machine.Spec
+
+// Machines returns the built-in machine presets: laptop2009,
+// petascale2009, petascale2009-proportional, and exascale.
+func Machines() []*Machine { return machine.Presets() }
+
+// MachineByName returns the named preset, or nil if unknown.
+func MachineByName(name string) *Machine { return machine.Preset(name) }
+
+// Laptop2009 returns the 2009 dual-core laptop preset.
+func Laptop2009() *Machine { return machine.Laptop2009() }
+
+// Petascale2009 returns the 2009 petascale-node preset (the default
+// machine of the evaluation suite).
+func Petascale2009() *Machine { return machine.Petascale2009() }
+
+// Exascale returns the projected exascale-node preset.
+func Exascale() *Machine { return machine.Exascale() }
+
+// WasteMode is one of the ten ways: its identity, the keynote sentence it
+// reifies, and a runnable wasteful/remedied demonstrator.
+type WasteMode = waste.Mode
+
+// WasteOutcome pairs the demonstrator's two variants.
+type WasteOutcome = waste.Outcome
+
+// Wastes returns the ten ways in canonical order, W1 through W10.
+func Wastes() []WasteMode { return waste.Modes() }
+
+// RunWaste runs one waste mode's demonstrator on the given machine.
+func RunWaste(id string, m *Machine) (WasteOutcome, error) {
+	mode, err := waste.ByID(id)
+	if err != nil {
+		return WasteOutcome{}, err
+	}
+	return mode.Run(m)
+}
+
+// Lab is the experiment registry that regenerates the evaluation suite.
+type Lab = core.Lab
+
+// Config parameterises experiment runs (machine choice, quick mode).
+type Config = core.Config
+
+// Output is an experiment's result: a table, a figure, or both.
+type Output = core.Output
+
+// Experiment is one registered table or figure generator.
+type Experiment = core.Experiment
+
+// NewLab returns the full evaluation suite: T1–T7 and F1–F21.
+func NewLab() *Lab { return core.NewLab() }
+
+// Pool is the measured-plane parallel runtime: a fixed-width worker pool
+// with static, chunked, guided, and work-stealing loop schedulers.
+type Pool = sched.Pool
+
+// NewPool creates a pool of the given width, attributing time to rec
+// (which may be nil).
+func NewPool(workers int, rec *Recorder) *Pool { return sched.NewPool(workers, rec) }
+
+// Recorder attributes measured wall-clock time to waste categories.
+type Recorder = trace.Recorder
+
+// NewRecorder creates a recorder for n workers.
+func NewRecorder(workers int) *Recorder { return trace.NewRecorder(workers) }
+
+// Breakdown is a snapshot of a Recorder.
+type Breakdown = trace.Breakdown
+
+// Advice is one diagnosed waste mode with evidence and a remedy.
+type Advice = core.Advice
+
+// Diagnose maps a measured trace breakdown to the waste modes it exhibits,
+// most severe first.
+func Diagnose(b Breakdown) []Advice { return core.Diagnose(b) }
+
+// StencilResult is the outcome of an integrated stencil campaign.
+type StencilResult = core.StencilResult
+
+// StencilCampaign simulates a row-block-decomposed Jacobi stencil on the
+// machine with either the wasteful stack (redundant transfers, no overlap,
+// global barriers) or the remedied stack. See core.StencilCampaign.
+func StencilCampaign(m *Machine, ranks, gridN, steps int, wasteful bool) (StencilResult, error) {
+	return core.StencilCampaign(m, ranks, gridN, steps, wasteful)
+}
+
+// World is the simulated PGAS runtime: write your own rank programs
+// against a machine model and get deterministic time, energy, and a
+// diagnosable breakdown. See examples/simulate.
+type World = pgas.World
+
+// Rank is the per-process view of a World.
+type Rank = pgas.Rank
+
+// Handle is an outstanding split-phase operation.
+type Handle = pgas.Handle
+
+// NewWorld creates a simulated world of the given rank count on the
+// machine, with the default (topology-free LogGP + NIC serialisation) cost
+// model.
+func NewWorld(ranks int, m *Machine) *World {
+	return pgas.NewWorld(ranks, m, nil, nil)
+}
+
+// Comm provides collective operations (barriers, broadcasts, allreduces)
+// to a simulated rank.
+type Comm = collective.Comm
+
+// NewComm creates a rank's collective context; call once per rank at the
+// top of the rank body.
+func NewComm(r *Rank) *Comm { return collective.New(r) }
+
+// SortResult is the outcome of a distributed-sort campaign.
+type SortResult = core.SortResult
+
+// SortCampaign simulates a distributed sample sort (real keys through the
+// simulated network, global order verified) with either the wasteful or
+// the remedied communication stack. See core.SortCampaign.
+func SortCampaign(m *Machine, ranks, keysPerRank int, wasteful bool) (SortResult, error) {
+	return core.SortCampaign(m, ranks, keysPerRank, wasteful)
+}
+
+// BFSResult is the outcome of a distributed BFS campaign.
+type BFSResult = core.BFSResult
+
+// BFSCampaign simulates a Graph500-style distributed BFS over the graph
+// generator's output with either stack; distances are verified against the
+// sequential reference. See core.BFSCampaign.
+func BFSCampaign(m *Machine, ranks int, g *Graph, wasteful bool) (BFSResult, error) {
+	return core.BFSCampaign(m, ranks, g, wasteful)
+}
+
+// Graph is an adjacency-list graph (see RMAT and UniformGraph generators).
+type Graph = workload.Graph
+
+// RMAT generates a scale-free directed graph with 2^scale vertices and
+// about edgeFactor·2^scale edges (the Graph500 workload).
+func RMAT(seed uint64, scale, edgeFactor int) *Graph {
+	return workload.RMAT(seed, scale, edgeFactor)
+}
+
+// Audit runs fn with an instrumented pool of the given width and returns
+// the time breakdown plus the diagnosis. It is the quickest way to ask
+// "where is my parallel loop wasting time?".
+func Audit(workers int, fn func(p *Pool)) (Breakdown, []Advice) {
+	rec := trace.NewRecorder(workers)
+	pool := sched.NewPool(workers, rec)
+	fn(pool)
+	b := rec.Breakdown()
+	return b, core.Diagnose(b)
+}
