@@ -1,0 +1,33 @@
+# Build and verification tiers. Tier-1 is the gate every change must pass
+# (see ROADMAP.md); race adds vet and the race detector over the measured
+# plane's real goroutines (sched.Pool, chaos.HostJitter).
+
+GO ?= go
+
+.PHONY: all build test race bench quick clean
+
+all: test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify: must stay green.
+test: build
+	$(GO) test ./...
+
+# Tier-2 verify: static analysis + race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Full benchmark suite (use BENCH=<regex> to narrow).
+BENCH ?= .
+bench:
+	$(GO) test -bench '$(BENCH)' -benchmem ./...
+
+# Fast iteration: shrunken sweeps.
+quick:
+	$(GO) test -short ./...
+
+clean:
+	$(GO) clean ./...

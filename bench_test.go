@@ -1,5 +1,5 @@
-// Benchmarks: one per table and figure of the evaluation suite (T1–T5,
-// F1–F14), each regenerating its experiment through the Lab, plus
+// Benchmarks: one per table and figure of the evaluation suite (T1–T8,
+// F1–F25), each regenerating its experiment through the Lab, plus
 // measured-plane benchmarks that run the wasteful/remedied kernel pairs on
 // the host CPU. Run everything with:
 //
@@ -71,6 +71,11 @@ func BenchmarkF18DistributedSort(b *testing.B)   { benchExperiment(b, "F18") }
 func BenchmarkF19CommAvoidingCG(b *testing.B)    { benchExperiment(b, "F19") }
 func BenchmarkF20NUMAPlacement(b *testing.B)     { benchExperiment(b, "F20") }
 func BenchmarkF21DistributedBFS(b *testing.B)    { benchExperiment(b, "F21") }
+func BenchmarkT8NoiseAmplification(b *testing.B) { benchExperiment(b, "T8") }
+func BenchmarkF22IdleWaveSpeed(b *testing.B)     { benchExperiment(b, "F22") }
+func BenchmarkF23IdleWaveDecay(b *testing.B)     { benchExperiment(b, "F23") }
+func BenchmarkF24Straggler(b *testing.B)         { benchExperiment(b, "F24") }
+func BenchmarkF25Checkpoint(b *testing.B)        { benchExperiment(b, "F25") }
 
 // --- Measured plane: the wasteful/remedied pairs on the host CPU ---
 
@@ -323,4 +328,29 @@ func BenchmarkDESKernel(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkKernelEvents tracks the event kernel's throughput with and
+// without a chaos perturber in the loop, so injector overhead on the hot
+// Lapse path stays visible. The per-regime breakdown lives in
+// internal/sim's BenchmarkKernelEvents.
+func BenchmarkKernelEvents(b *testing.B) {
+	run := func(b *testing.B, sc *tenways.Scenario) {
+		w := tenways.NewWorld(4, tenways.Petascale2009())
+		if sc != nil {
+			sc.Arm(w)
+		}
+		per := b.N/4 + 1
+		if _, err := w.Run(func(r *tenways.Rank) {
+			for i := 0; i < per; i++ {
+				r.Lapse(1e-9)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("quiet", func(b *testing.B) { run(b, nil) })
+	b.Run("jitter", func(b *testing.B) {
+		run(b, tenways.NewScenario().Add(tenways.NewJitter(tenways.JitterExponential, 0.1, 42, 4)))
+	})
 }

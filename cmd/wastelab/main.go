@@ -6,6 +6,7 @@
 //
 //	wastelab -list
 //	wastelab -run T1 -machine petascale2009
+//	wastelab -run T8,F22,F23 -csv out/
 //	wastelab -run all -quick -csv out/
 package main
 
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		list        = flag.Bool("list", false, "list experiments and exit")
-		run         = flag.String("run", "", "experiment id to run, or 'all'")
+		run         = flag.String("run", "", "comma-separated experiment ids to run, or 'all'")
 		machineName = flag.String("machine", "petascale2009", "machine preset (see -machines)")
 		machines    = flag.Bool("machines", false, "list machine presets and exit")
 		quick       = flag.Bool("quick", false, "shrink sweeps for a fast run")
@@ -58,9 +59,25 @@ func main() {
 	}
 	cfg := tenways.Config{Machine: spec, Quick: *quick}
 
-	ids := []string{*run}
+	var ids []string
 	if strings.EqualFold(*run, "all") {
 		ids = lab.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	// Validate the whole list before running anything.
+	for _, id := range ids {
+		if _, err := lab.Get(id); err != nil {
+			fmt.Fprintf(os.Stderr, "wastelab: unknown experiment %q; valid ids:\n", id)
+			for _, e := range lab.Experiments() {
+				fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
 	}
 	for _, id := range ids {
 		out, err := lab.Run(id, cfg)

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tenways/internal/trace"
+)
+
+// HostJitter is the measured-plane injector: real goroutines that burn CPU
+// in a duty cycle alongside a sched.Pool run, perturbing it the way OS
+// noise perturbs an HPC node. Unlike the simulated injectors it is not
+// deterministic — it exists so the measured experiments can observe how the
+// pool's schedulers absorb genuine interference. Burn time is charged to
+// the trace.Noise category when a recorder is attached.
+type HostJitter struct {
+	workers int
+	duty    float64
+	period  time.Duration
+	rec     *trace.Recorder
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	burned  atomic.Int64 // total burn nanoseconds across jitter workers
+}
+
+// NewHostJitter creates workers jitter goroutines that each spin for
+// duty·period out of every period. rec may be nil; when set, each jitter
+// goroutine charges its burn time as Noise against worker index
+// i mod rec.Workers() — the pool workers sharing those cores.
+func NewHostJitter(workers int, duty float64, period time.Duration, rec *trace.Recorder) *HostJitter {
+	if workers < 1 {
+		workers = 1
+	}
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	return &HostJitter{workers: workers, duty: duty, period: period, rec: rec, stop: make(chan struct{})}
+}
+
+// Start launches the jitter goroutines. Safe to call once.
+func (h *HostJitter) Start() {
+	if !h.started.CompareAndSwap(false, true) {
+		return
+	}
+	burn := time.Duration(h.duty * float64(h.period))
+	idle := h.period - burn
+	for i := 0; i < h.workers; i++ {
+		h.wg.Add(1)
+		go func(i int) {
+			defer h.wg.Done()
+			for {
+				select {
+				case <-h.stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				for time.Since(t0) < burn {
+					// Busy spin; yield occasionally so GOMAXPROCS=1 hosts
+					// still make progress.
+					runtime.Gosched()
+				}
+				spun := time.Since(t0)
+				h.burned.Add(int64(spun))
+				if h.rec != nil {
+					h.rec.Add(i%h.rec.Workers(), trace.Noise, spun)
+				}
+				if idle > 0 {
+					select {
+					case <-h.stop:
+						return
+					case <-time.After(idle):
+					}
+				}
+			}
+		}(i)
+	}
+}
+
+// Stop terminates the jitter goroutines and waits for them to exit. Safe to
+// call multiple times.
+func (h *HostJitter) Stop() {
+	if !h.started.CompareAndSwap(true, false) {
+		return
+	}
+	close(h.stop)
+	h.wg.Wait()
+}
+
+// Burned returns the total CPU time the jitter goroutines have spun so far.
+func (h *HostJitter) Burned() time.Duration { return time.Duration(h.burned.Load()) }

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+
+	"tenways/internal/pgas"
+)
+
+// LinkFault wraps a pgas cost model and degrades or fails transfers during
+// a virtual-time window: transient congestion (Slowdown of a few), a dead
+// link or NIC (a large Slowdown standing in for timeout-and-retransmit),
+// or a failed rank (every message to or from it pays the penalty). It is
+// bound to the world's clock by Scenario.Arm (or Bind directly), because a
+// cost model is built before the world that owns the clock exists; until
+// bound it behaves as the inner model.
+//
+// Messages already in flight are not recalled: the fault applies to
+// transfers issued while the window is open, which is how a cost-model
+// plane can express faults without rewriting the event kernel.
+type LinkFault struct {
+	inner    pgas.CostModel
+	clock    func() float64
+	From, To float64 // window; To = 0 means until the end of the run
+	Slowdown float64 // MsgTime multiplier while the window is open, ≥ 1
+	affected func(src, dst int) bool
+	desc     string
+}
+
+// NewLinkFault degrades the directed link src→dst (and dst→src) by the
+// slowdown factor during [from, to).
+func NewLinkFault(inner pgas.CostModel, src, dst int, from, to, slowdown float64) *LinkFault {
+	return &LinkFault{
+		inner: inner, From: from, To: to, Slowdown: slowdown,
+		affected: func(s, d int) bool {
+			return (s == src && d == dst) || (s == dst && d == src)
+		},
+		desc: fmt.Sprintf("link-%d<->%d", src, dst),
+	}
+}
+
+// NewRankFault degrades every message to or from the rank — a failing NIC
+// or a rank that must be reached via recovery paths — by the slowdown
+// factor during [from, to).
+func NewRankFault(inner pgas.CostModel, rank int, from, to, slowdown float64) *LinkFault {
+	return &LinkFault{
+		inner: inner, From: from, To: to, Slowdown: slowdown,
+		affected: func(s, d int) bool { return s == rank || d == rank },
+		desc:     fmt.Sprintf("rank-%d", rank),
+	}
+}
+
+// Name identifies the fault for tables.
+func (f *LinkFault) Name() string {
+	return fmt.Sprintf("fault-%s-%.0fx", f.desc, f.Slowdown)
+}
+
+// Bind attaches the world's clock; Scenario.Arm calls this.
+func (f *LinkFault) Bind(clock func() float64) { f.clock = clock }
+
+func (f *LinkFault) open() bool {
+	if f.clock == nil {
+		return false
+	}
+	now := f.clock()
+	return now >= f.From && (f.To == 0 || now < f.To)
+}
+
+// MsgTime implements pgas.CostModel.
+func (f *LinkFault) MsgTime(src, dst int, bytes float64) float64 {
+	t := f.inner.MsgTime(src, dst, bytes)
+	if f.open() && f.affected(src, dst) && f.Slowdown > 1 {
+		t *= f.Slowdown
+	}
+	return t
+}
+
+// MsgEnergy implements pgas.CostModel. Retransmissions re-drive the wire,
+// so energy scales with the same factor as time.
+func (f *LinkFault) MsgEnergy(src, dst int, bytes float64) float64 {
+	e := f.inner.MsgEnergy(src, dst, bytes)
+	if f.open() && f.affected(src, dst) && f.Slowdown > 1 {
+		e *= f.Slowdown
+	}
+	return e
+}

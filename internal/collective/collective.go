@@ -114,6 +114,51 @@ func (c *Comm) BarrierTree() {
 	}
 }
 
+// BarrierBegin posts this rank's arrival at a split-phase tree barrier and
+// returns immediately (after send overhead at most): the MPI_Ibarrier
+// pattern. Leaves propagate their arrival up the binomial tree at once;
+// internal ranks combine children in BarrierEnd. Work done between
+// BarrierBegin and BarrierEnd overlaps the barrier, which is what lets a
+// non-blocking barrier absorb injected noise instead of relaying it — the
+// chaos idle-wave experiments' remedied stack. Begin/End pairs must not
+// overlap on one rank; successive epochs are fine.
+func (c *Comm) BarrierBegin() {
+	r := c.r
+	n := r.N()
+	if n == 1 {
+		return
+	}
+	id := r.ID()
+	if id != 0 && len(children(id, n)) == 0 {
+		r.Signal(parent(id), "bar.nb.up")
+	}
+}
+
+// BarrierEnd completes the split-phase barrier begun by the matching
+// BarrierBegin, blocking (as sync-wait) until every rank's arrival has been
+// combined and the release has propagated back down the tree.
+func (c *Comm) BarrierEnd() {
+	r := c.r
+	n := r.N()
+	if n == 1 {
+		return
+	}
+	id := r.ID()
+	ch := children(id, n)
+	if len(ch) > 0 {
+		c.waitSync("bar.nb.up", int64(len(ch)))
+		if id != 0 {
+			r.Signal(parent(id), "bar.nb.up")
+		}
+	}
+	if id != 0 {
+		c.waitSync("bar.nb.down", 1)
+	}
+	for _, d := range ch {
+		r.Signal(d, "bar.nb.down")
+	}
+}
+
 // parent returns the binomial-tree parent of a non-zero vrank: the vrank
 // with its highest set bit cleared.
 func parent(vr int) int {

@@ -394,3 +394,74 @@ func TestAlltoallWrongBlockCountPanics(t *testing.T) {
 		t.Fatal("expected error from panic")
 	}
 }
+
+func TestSplitPhaseBarrierComplete(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16} {
+		end := runWorld(t, n, func(c *Comm) {
+			for e := 0; e < 3; e++ { // repeated epochs must not interfere
+				c.BarrierBegin()
+				c.Rank().Lapse(1e-5)
+				c.BarrierEnd()
+			}
+		})
+		if end <= 0 {
+			t.Errorf("split-phase barrier on %d ranks took no time", n)
+		}
+	}
+}
+
+func TestSplitPhaseBarrierOrderingGuarantee(t *testing.T) {
+	// No rank may pass BarrierEnd before every rank has called BarrierBegin.
+	n := 8
+	enter := make([]float64, n)
+	exit := make([]float64, n)
+	runWorld(t, n, func(c *Comm) {
+		c.Rank().Lapse(float64(c.Rank().ID()) * 1e-5) // stagger arrivals
+		enter[c.Rank().ID()] = c.Rank().Now()
+		c.BarrierBegin()
+		c.BarrierEnd()
+		exit[c.Rank().ID()] = c.Rank().Now()
+	})
+	maxEnter := 0.0
+	for _, e := range enter {
+		if e > maxEnter {
+			maxEnter = e
+		}
+	}
+	for i, x := range exit {
+		if x < maxEnter {
+			t.Errorf("rank %d passed BarrierEnd at %g before last BarrierBegin at %g", i, x, maxEnter)
+		}
+	}
+}
+
+func TestSplitPhaseBarrierOverlapsLeafCompute(t *testing.T) {
+	// A slow leaf's compute placed between Begin and End overlaps the
+	// barrier: the run must be faster than with the blocking tree barrier
+	// around the same compute.
+	const n, work, slow = 8, 1e-4, 1e-3
+	leaf := n - 1 // rank 7 is a leaf of the 8-rank binomial tree
+	body := func(split bool) float64 {
+		return runWorld(t, n, func(c *Comm) {
+			d := work
+			if c.Rank().ID() == leaf {
+				d = slow
+			}
+			for s := 0; s < 4; s++ {
+				if split {
+					c.BarrierBegin()
+					c.Rank().Lapse(d)
+					c.BarrierEnd()
+				} else {
+					c.Rank().Lapse(d)
+					c.BarrierTree()
+				}
+			}
+		})
+	}
+	blocking := body(false)
+	overlapped := body(true)
+	if overlapped >= blocking {
+		t.Errorf("split-phase (%g) not faster than blocking (%g)", overlapped, blocking)
+	}
+}

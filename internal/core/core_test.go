@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tenways/internal/chaos"
 	"tenways/internal/collective"
 	"tenways/internal/machine"
 	"tenways/internal/pgas"
@@ -16,7 +17,8 @@ func TestLabHasFullSuite(t *testing.T) {
 	l := NewLab()
 	want := []string{"T1", "T2", "T3", "T4", "T5",
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10",
-		"F11", "F12", "F13", "F14", "T6", "T7", "F15", "F16", "F17", "F18", "F19", "F20", "F21"}
+		"F11", "F12", "F13", "F14", "T6", "T7", "F15", "F16", "F17", "F18", "F19", "F20", "F21",
+		"T8", "F22", "F23", "F24", "F25"}
 	ids := l.IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(ids), len(want))
@@ -389,4 +391,43 @@ func TestBFSCampaignCorrectAndRemediedWins(t *testing.T) {
 	if _, err := BFSCampaign(spec, 7, g, true); err == nil {
 		t.Fatal("non-dividing p should fail")
 	}
+}
+
+func TestDiagnoseNoise(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	rec.Add(0, trace.Compute, 800*time.Millisecond)
+	rec.Add(1, trace.Compute, 800*time.Millisecond)
+	rec.Add(0, trace.Noise, 100*time.Millisecond)
+	rec.Add(1, trace.Noise, 100*time.Millisecond)
+	advice := Diagnose(rec.Breakdown())
+	found := false
+	for _, a := range advice {
+		if a.ModeID == "N1" {
+			found = true
+			if a.Severity < 0.05 {
+				t.Fatalf("noise severity = %g", a.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected N1 noise advice, got %+v", advice)
+	}
+}
+
+// TestDiagnoseAttributesInjectedNoise closes the loop end to end: a chaos
+// scenario injected into a pgas run must surface as N1 in Diagnose.
+func TestDiagnoseAttributesInjectedNoise(t *testing.T) {
+	sc := chaos.NewScenario().Add(chaos.NewJitter(chaos.Exponential, 0.25, 7, 4))
+	res, err := chaos.RunIdleWave(machine.Petascale2009(), chaos.IdleWaveConfig{
+		Ranks: 4, Steps: 20, Compute: 1e-3, Words: 8, Stack: chaos.NeighborBlocking, Chaos: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Diagnose(res.Breakdown) {
+		if a.ModeID == "N1" {
+			return
+		}
+	}
+	t.Fatalf("injected jitter not diagnosed: %v, advice %+v", res.Breakdown, Diagnose(res.Breakdown))
 }

@@ -23,10 +23,14 @@ type Advice struct {
 	Remedy   string
 }
 
-// Thresholds below which a category is considered noise rather than waste.
+// Thresholds below which a category is considered measurement noise rather
+// than waste. Injected noise gets a lower bar: even a few percent of
+// extrinsic jitter is worth calling out, because blocking synchronisation
+// amplifies it.
 const (
 	fractionThreshold  = 0.10
 	imbalanceThreshold = 0.20
+	noiseThreshold     = 0.05
 )
 
 // Diagnose inspects a measured trace breakdown and returns the waste modes
@@ -80,6 +84,15 @@ func Diagnose(b trace.Breakdown) []Advice {
 			Severity: f,
 			Evidence: fmt.Sprintf("%.0f%% of attributed time idle", 100*f),
 			Remedy:   "block instead of spinning; on non-proportional hardware, consolidate work to fewer busy cores",
+		})
+	}
+	if f := b.Fraction(trace.Noise); f > noiseThreshold {
+		out = append(out, Advice{
+			ModeID:   "N1",
+			Name:     "extrinsic noise (jitter, stragglers)",
+			Severity: f,
+			Evidence: fmt.Sprintf("%.0f%% of attributed time stolen by injected or system noise", 100*f),
+			Remedy:   "absorb noise with non-blocking collectives and slack-bearing synchronisation; rebalance around stragglers",
 		})
 	}
 	if f := b.Fraction(trace.Steal); f > fractionThreshold {

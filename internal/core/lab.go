@@ -50,7 +50,7 @@ func (o Output) Render(w io.Writer) error {
 
 // Experiment regenerates one table or figure of the evaluation suite.
 type Experiment struct {
-	ID    string // "T1".."T7", "F1".."F18"
+	ID    string // "T1".."T8", "F1".."F25"
 	Title string
 	Run   func(cfg Config) (Output, error)
 }
@@ -142,5 +142,10 @@ func allExperiments() []Experiment {
 		{ID: "F19", Title: "Distributed CG: standard vs communication-avoiding s-step", Run: runF19},
 		{ID: "F20", Title: "NUMA placement: first-touch vs interleave vs serial-init", Run: runF20},
 		{ID: "F21", Title: "Distributed BFS (Graph500-style), wasteful vs remedied stack", Run: runF21},
+		{ID: "T8", Title: "Noise amplification by synchronisation stack", Run: runT8},
+		{ID: "F22", Title: "Idle-wave propagation speed vs neighbour offsets and topology", Run: runF22},
+		{ID: "F23", Title: "Idle-wave decay under noise-absorbing synchronisation", Run: runF23},
+		{ID: "F24", Title: "Straggler mitigation: static vs over-decomposed self-scheduling", Run: runF24},
+		{ID: "F25", Title: "Checkpoint/replay under rank failure: interval trade-off", Run: runF25},
 	}
 }

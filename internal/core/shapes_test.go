@@ -257,3 +257,143 @@ func TestShapeT5ImprovementEverywhere(t *testing.T) {
 		t.Fatalf("expected 4 remedied rows, got %d", improved)
 	}
 }
+
+func TestShapeF22WaveFiniteSpeed(t *testing.T) {
+	_, s, xs := fullFigure(t, "F22")
+	p := len(xs)
+	// The wave reaches every rank, monotonically later with distance, and a
+	// longer neighbour offset makes it arrive sooner at the far end.
+	short := s["logGP d={1}"]
+	long := s["logGP d={1,4}"]
+	for r := 1; r < p; r++ {
+		if short[r] < 0 || long[r] < 0 {
+			t.Fatalf("wave never arrived at rank %d: %v / %v", r, short[r], long[r])
+		}
+		if short[r] < short[r-1] {
+			t.Fatalf("d={1} wavefront not monotone at rank %d: %v", r, short)
+		}
+	}
+	if long[p-1] >= short[p-1] {
+		t.Fatalf("longer offsets should accelerate the wave: d={1,4} %gms vs d={1} %gms",
+			long[p-1], short[p-1])
+	}
+}
+
+func TestShapeF23NoiseAbsorbingStacksDamp(t *testing.T) {
+	_, s, xs := fullFigure(t, "F23")
+	p := len(xs)
+	victim := p - 1
+	flat := s["flat-barrier"]
+	tree := s["tree-barrier"]
+	async := s["neighbor-async"]
+	nb := s["nonblocking-barrier"]
+	blocking := s["neighbor-blocking"]
+	// Blocking stacks relay the full spike to rank 0; the async chain damps
+	// it to nothing; the split-phase barrier keeps everyone but the victim
+	// below the blocking-barrier amplitude.
+	if async[0] > flat[0]/10 {
+		t.Fatalf("async chain did not damp the wave: %g vs flat %g", async[0], flat[0])
+	}
+	if blocking[0] < 0.9*flat[0] || tree[0] < 0.9*flat[0] {
+		t.Fatalf("blocking stacks should relay full amplitude: chain %g, tree %g, flat %g",
+			blocking[0], tree[0], flat[0])
+	}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		if nb[r] >= flat[r] {
+			t.Fatalf("non-blocking barrier absorbed nothing at rank %d: %g vs %g", r, nb[r], flat[r])
+		}
+	}
+}
+
+func TestShapeF24SelfSchedulingBeatsStatic(t *testing.T) {
+	_, s, xs := fullFigure(t, "F24")
+	static := s["static partition"]
+	dyn := s["self-scheduling (over-decomposed)"]
+	last := len(xs) - 1
+	// Static efficiency collapses as 1/factor; self-scheduling stays high.
+	if static[last] > 0.2 {
+		t.Fatalf("static efficiency should collapse under a %gx straggler: %g", xs[last], static[last])
+	}
+	if dyn[last] < 3*static[last] {
+		t.Fatalf("self-scheduling should far outperform static: %g vs %g", dyn[last], static[last])
+	}
+	if !monotoneNonIncreasing(static) {
+		t.Fatalf("static efficiency not monotone in slowdown: %v", static)
+	}
+}
+
+func TestShapeF25CheckpointUCurve(t *testing.T) {
+	_, s, xs := fullFigure(t, "F25")
+	fail := s["with failure"]
+	clean := s["failure-free (overhead only)"]
+	bare := s["no checkpoints + failure"]
+	// Overhead-only time falls as checkpoints get rarer.
+	if !monotoneNonIncreasing(clean) {
+		t.Fatalf("failure-free overhead not monotone: %v", clean)
+	}
+	// The failure curve is a U: its interior minimum beats both endpoints.
+	best, bestI := math.Inf(1), -1
+	for i, y := range fail {
+		if y < best {
+			best, bestI = y, i
+		}
+	}
+	if bestI == 0 || bestI == len(fail)-1 {
+		t.Fatalf("no interior optimum: %v (min at %g)", fail, xs[bestI])
+	}
+	// Any checkpointed run with failure beats replaying the whole campaign.
+	for i, y := range fail {
+		if y >= bare[i] {
+			t.Fatalf("checkpointing at interval %g did not beat no checkpoints: %g vs %g",
+				xs[i], y, bare[i])
+		}
+	}
+}
+
+func TestShapeT8BlockingAmplifiesNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out, err := NewLab().Run("T8", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := out.Table
+	// Columns: injector, nb-time, nb-ampl, flat-time, flat-ampl, split-time,
+	// split-ampl. For every injector row, the flat barrier's amplification
+	// must exceed the neighbour chain's: global synchronisation spreads each
+	// rank's noise to all ranks.
+	col := map[string]int{}
+	for i, h := range tbl.Headers {
+		col[h] = i
+	}
+	parse := func(cell string) float64 {
+		var f float64
+		if _, err := fmtSscan(strings.TrimSuffix(cell, "x"), &f); err != nil {
+			t.Fatalf("bad factor cell %q: %v", cell, err)
+		}
+		return f
+	}
+	rows := 0
+	for _, row := range tbl.Rows {
+		if row[0] == "none" || strings.HasPrefix(row[0], "straggler") {
+			continue
+		}
+		rows++
+		nbAmpl := parse(row[2])
+		flatAmpl := parse(row[4])
+		if flatAmpl <= nbAmpl {
+			t.Errorf("%s: flat barrier should amplify more than the neighbour chain: %g vs %g",
+				row[0], flatAmpl, nbAmpl)
+		}
+		if flatAmpl < 1 {
+			t.Errorf("%s: flat-barrier amplification below 1: %g", row[0], flatAmpl)
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no jitter rows found in T8")
+	}
+}

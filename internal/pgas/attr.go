@@ -18,6 +18,7 @@ type attrLedger struct {
 	compute   float64
 	commWait  float64
 	syncWait  float64
+	noise     float64
 	syncDepth int
 }
 
@@ -49,6 +50,13 @@ func (r *Rank) chargeCompute(d float64) {
 	r.w.attr[r.ID()].compute += d
 }
 
+// chargeNoise attributes d virtual seconds of injected delay (OS jitter,
+// stragglers, chaos spikes) — time the core was busy but the application
+// made no progress.
+func (r *Rank) chargeNoise(d float64) {
+	r.w.attr[r.ID()].noise += d
+}
+
 // Breakdown converts the world's virtual-time ledgers into a
 // trace.Breakdown (1 virtual second = 1s of trace time): per-rank compute,
 // comm-wait, and sync-wait, plus the idle tail up to the makespan. Call
@@ -68,7 +76,8 @@ func (w *World) Breakdown(makespan float64) trace.Breakdown {
 		set(trace.Compute, l.compute)
 		set(trace.CommWait, l.commWait)
 		set(trace.SyncWait, l.syncWait)
-		idle := makespan - l.compute - l.commWait - l.syncWait
+		set(trace.Noise, l.noise)
+		idle := makespan - l.compute - l.commWait - l.syncWait - l.noise
 		if idle > 0 {
 			set(trace.Idle, idle)
 		}

@@ -119,6 +119,60 @@ func TestBreakdownSpinCountsAsWait(t *testing.T) {
 	}
 }
 
+// fixedPerturber injects a constant extra delay after every busy period on
+// one rank — the minimal Perturber for attribution tests.
+type fixedPerturber struct {
+	rank  int
+	extra float64
+}
+
+func (f fixedPerturber) ComputeDelay(rank int, now, d float64) float64 {
+	if rank == f.rank {
+		return f.extra
+	}
+	return 0
+}
+
+func TestPerturberChargesNoise(t *testing.T) {
+	w := NewWorld(2, spec(), nil, nil)
+	w.SetPerturber(fixedPerturber{rank: 1, extra: 2e-3})
+	end, err := w.Run(func(r *Rank) { r.Lapse(1e-3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Breakdown(end)
+	if got := durSecs(b.PerWorker[1].ByCategory[trace.Noise]); math.Abs(got-2e-3) > 1e-9 {
+		t.Fatalf("rank 1 noise = %g, want 2e-3", got)
+	}
+	if b.PerWorker[0].ByCategory[trace.Noise] != 0 {
+		t.Fatal("unperturbed rank charged noise")
+	}
+	if got := durSecs(b.PerWorker[1].ByCategory[trace.Compute]); math.Abs(got-1e-3) > 1e-9 {
+		t.Fatalf("noise leaked into compute: %g", got)
+	}
+	// The injected delay stretches the makespan.
+	if end < 3e-3-1e-9 {
+		t.Fatalf("makespan %g did not absorb injected delay", end)
+	}
+}
+
+func TestNilPerturberIdentical(t *testing.T) {
+	run := func(arm bool) float64 {
+		w := NewWorld(2, spec(), nil, nil)
+		if arm {
+			w.SetPerturber(nil)
+		}
+		end, err := w.Run(func(r *Rank) { r.Lapse(1e-3) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("nil perturber changed the run: %g vs %g", a, b)
+	}
+}
+
 func TestRankBytesAndCommImbalance(t *testing.T) {
 	w := NewWorld(4, spec(), nil, nil)
 	w.Alloc("x", 64)

@@ -46,6 +46,17 @@ func (c SimpleCost) MsgEnergy(src, dst int, bytes float64) float64 {
 	return c.Spec.MsgEnergyJ(bytes)
 }
 
+// Perturber injects extra virtual-time delay into ranks' busy periods — the
+// hook the chaos subsystem uses to model OS jitter, stragglers, and one-shot
+// delay spikes. After a rank spends d busy seconds ending at virtual time
+// now, the runtime asks the perturber for extra seconds of stolen time; the
+// extra is charged to the Noise trace category (and to busy static power:
+// the core is running, just not running the application). A nil perturber
+// (the default) leaves every run byte-identical to an unperturbed one.
+type Perturber interface {
+	ComputeDelay(rank int, now, d float64) float64
+}
+
 // Stats aggregates world-wide communication activity.
 type Stats struct {
 	Messages  int64
@@ -74,6 +85,7 @@ type World struct {
 	attr     []attrLedger
 	rankSent []int64 // bytes sent per rank
 	stats    Stats
+	perturb  Perturber
 }
 
 type flagVar struct {
@@ -133,6 +145,15 @@ func (w *World) Alloc(name string, perRank int) {
 
 // Meter returns the world's energy meter.
 func (w *World) Meter() *energy.Meter { return w.meter }
+
+// SetPerturber arms the world with a delay injector (nil disarms). Call
+// before Run; the chaos package's Scenario.Arm does this.
+func (w *World) SetPerturber(p Perturber) { w.perturb = p }
+
+// Now returns the current virtual time in seconds. Useful to time-gated
+// cost-model wrappers (link faults) that need the clock of the world they
+// wrap.
+func (w *World) Now() float64 { return w.k.Now() }
 
 // RankBytesSent returns a copy of the per-rank sent-byte ledger, the input
 // to communication-imbalance analysis: a rank sending far more than the
@@ -244,12 +265,22 @@ func (r *Rank) Compute(flops, dramBytes float64) {
 }
 
 // Lapse advances virtual time by d seconds of busy work, charging busy
-// static power.
+// static power. When a perturber is armed, the injected extra time follows
+// the busy period: it burns busy power (the core is running OS or noise
+// work) and is attributed to the Noise category, not to compute.
 func (r *Rank) Lapse(d float64) {
 	r.w.meter.Add(energy.Static, r.w.spec.BusyEnergyJ(d))
 	r.w.busy[r.ID()] += d
 	r.chargeCompute(d)
 	r.p.Advance(d)
+	if pert := r.w.perturb; pert != nil {
+		if extra := pert.ComputeDelay(r.ID(), r.p.Now(), d); extra > 0 {
+			r.w.meter.Add(energy.Static, r.w.spec.BusyEnergyJ(extra))
+			r.w.busy[r.ID()] += extra
+			r.chargeNoise(extra)
+			r.p.Advance(extra)
+		}
+	}
 }
 
 // Idle advances virtual time by d seconds without doing work (waiting on an

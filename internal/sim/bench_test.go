@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEvents measures the event kernel's throughput in the
+// regimes the laboratory exercises: lone-proc time advancement (the cheap
+// path), many procs interleaving through the heap, and condition-variable
+// ping-pong (the blocking path every signal and message rides on). The
+// Mevents/s metric is the substrate budget that bounds how large the
+// simulated campaigns can grow.
+func BenchmarkKernelEvents(b *testing.B) {
+	b.Run("advance-1proc", func(b *testing.B) {
+		k := NewKernel()
+		if _, err := k.Run(1, func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(1e-9)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("advance-64proc", func(b *testing.B) {
+		k := NewKernel()
+		per := b.N/64 + 1
+		if _, err := k.Run(64, func(p *Proc) {
+			for i := 0; i < per; i++ {
+				p.Advance(1e-9)
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("cond-pingpong", func(b *testing.B) {
+		k := NewKernel()
+		ping, pong := k.NewCond(), k.NewCond()
+		if _, err := k.Run(2, func(p *Proc) {
+			// Proc 0 is scheduled first, so it must be the side that waits
+			// first: a Signal with no waiter is lost.
+			for i := 0; i < b.N; i++ {
+				if p.ID() == 0 {
+					p.Wait(ping)
+					pong.Signal()
+				} else {
+					ping.Signal()
+					p.Wait(pong)
+				}
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+}

@@ -25,12 +25,13 @@ const (
 	Steal
 	Serial
 	Idle
+	Noise
 	numCategories
 )
 
 // Categories lists all categories in presentation order.
 func Categories() []Category {
-	return []Category{Compute, SyncWait, CommWait, Steal, Serial, Idle}
+	return []Category{Compute, SyncWait, CommWait, Steal, Serial, Idle, Noise}
 }
 
 // String names the category.
@@ -48,6 +49,8 @@ func (c Category) String() string {
 		return "serial"
 	case Idle:
 		return "idle"
+	case Noise:
+		return "noise"
 	default:
 		return fmt.Sprintf("category(%d)", int(c))
 	}

@@ -100,7 +100,7 @@ func TestConcurrentWorkers(t *testing.T) {
 func TestCategoryStrings(t *testing.T) {
 	want := map[Category]string{
 		Compute: "compute", SyncWait: "sync-wait", CommWait: "comm-wait",
-		Steal: "steal", Serial: "serial", Idle: "idle",
+		Steal: "steal", Serial: "serial", Idle: "idle", Noise: "noise",
 	}
 	for c, s := range want {
 		if c.String() != s {
@@ -112,6 +112,24 @@ func TestCategoryStrings(t *testing.T) {
 	}
 	if len(Categories()) != int(numCategories) {
 		t.Errorf("Categories() misses entries")
+	}
+}
+
+// TestCategoriesAllNamed guards the String switch against a category being
+// added to Categories() without a name: every listed category must render
+// something other than the default "category(N)" fallback, and names must
+// be unique.
+func TestCategoriesAllNamed(t *testing.T) {
+	seen := map[string]Category{}
+	for _, c := range Categories() {
+		s := c.String()
+		if strings.HasPrefix(s, "category(") {
+			t.Errorf("category %d has no name (got %q)", c, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("categories %d and %d share the name %q", prev, c, s)
+		}
+		seen[s] = c
 	}
 }
 

@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -307,5 +309,43 @@ func TestShuffleConserves(t *testing.T) {
 	}
 	if got != sum {
 		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	// Byte-identical across invocations: the generator must not leak map
+	// iteration order or any other per-process nondeterminism into the
+	// graph, because distributed campaigns partition it by rank and replay
+	// it across runs.
+	render := func(g *Graph) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "n=%d e=%d\n", g.N, g.NumEdges())
+		for u, adj := range g.Adj {
+			fmt.Fprintf(&b, "%d:%v\n", u, adj)
+		}
+		return b.String()
+	}
+	a := render(RMAT(2009, 8, 8))
+	bb := render(RMAT(2009, 8, 8))
+	if a != bb {
+		t.Fatal("RMAT(2009, 8, 8) differs between invocations")
+	}
+	if c := render(RMAT(2010, 8, 8)); c == a {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	g := RMAT(7, 9, 8)
+	max, sum := 0, 0
+	for _, adj := range g.Adj {
+		if len(adj) > max {
+			max = len(adj)
+		}
+		sum += len(adj)
+	}
+	mean := float64(sum) / float64(g.N)
+	if float64(max) < 4*mean {
+		t.Fatalf("R-MAT should be skewed: max degree %d vs mean %.1f", max, mean)
 	}
 }

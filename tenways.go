@@ -10,9 +10,13 @@
 //   - Wastes and RunWaste: the catalogue of the ten modes and their
 //     demonstrators on a chosen machine.
 //   - NewLab: the experiment registry; Run("T1", ...) through
-//     Run("F21", ...) regenerate every table and figure.
+//     Run("F25", ...) regenerate every table and figure.
 //   - Audit: run your own parallel loop under the instrumented runtime and
 //     get a diagnosis of which wastes it exhibits.
+//
+// The chaos surface (Scenario, NewJitter, NewStraggler, NewSpike) injects
+// seeded, deterministic noise and faults into simulated worlds so the
+// remedies can be tested against extrinsic waste too; see examples/chaos.
 //
 // The heavy machinery (cache and network simulators, the PGAS runtime, the
 // collectives, the kernels) lives under internal/; this package re-exports
@@ -20,6 +24,7 @@
 package tenways
 
 import (
+	"tenways/internal/chaos"
 	"tenways/internal/collective"
 	"tenways/internal/core"
 	"tenways/internal/machine"
@@ -82,8 +87,49 @@ type Output = core.Output
 // Experiment is one registered table or figure generator.
 type Experiment = core.Experiment
 
-// NewLab returns the full evaluation suite: T1–T7 and F1–F21.
+// NewLab returns the full evaluation suite: T1–T8 and F1–F25.
 func NewLab() *Lab { return core.NewLab() }
+
+// Injector perturbs a simulated run: after a rank spends d busy seconds
+// ending at virtual time now, Delay returns the extra seconds stolen from
+// it. All built-in injectors are seeded and deterministic.
+type Injector = chaos.Injector
+
+// Scenario composes injectors and link faults into one perturbation plan;
+// arm it on a World with Scenario.Arm. An empty scenario injects nothing
+// and leaves runs bit-identical to unperturbed ones.
+type Scenario = chaos.Scenario
+
+// NewScenario returns an empty chaos scenario.
+func NewScenario() *Scenario { return chaos.NewScenario() }
+
+// JitterDist selects a jitter injector's delay distribution.
+type JitterDist = chaos.Dist
+
+// The jitter distributions.
+const (
+	JitterUniform     JitterDist = chaos.Uniform
+	JitterExponential JitterDist = chaos.Exponential
+	JitterBursty      JitterDist = chaos.Bursty
+)
+
+// NewJitter creates a seeded per-rank compute-jitter injector with expected
+// injected time frac·(busy time) for worlds of up to ranks ranks.
+func NewJitter(dist JitterDist, frac float64, seed uint64, ranks int) Injector {
+	return chaos.NewJitter(dist, frac, seed, ranks)
+}
+
+// NewStraggler creates an injector that permanently slows one rank by the
+// given factor (2 = half speed).
+func NewStraggler(rank int, factor float64) Injector {
+	return chaos.NewStraggler(rank, factor)
+}
+
+// NewSpike creates a one-shot injector: a single delay of duration seconds
+// hits rank's first busy period completing at or after virtual time at.
+func NewSpike(rank int, at, duration float64) Injector {
+	return chaos.NewSpike(rank, at, duration)
+}
 
 // Pool is the measured-plane parallel runtime: a fixed-width worker pool
 // with static, chunked, guided, and work-stealing loop schedulers.
@@ -101,6 +147,13 @@ func NewRecorder(workers int) *Recorder { return trace.NewRecorder(workers) }
 
 // Breakdown is a snapshot of a Recorder.
 type Breakdown = trace.Breakdown
+
+// Category is one bucket of attributed time in a Breakdown.
+type Category = trace.Category
+
+// NoiseCategory is the category injected chaos time is charged to; query a
+// Breakdown with Of/Fraction(NoiseCategory) to see what the injectors cost.
+const NoiseCategory = trace.Noise
 
 // Advice is one diagnosed waste mode with evidence and a remedy.
 type Advice = core.Advice
