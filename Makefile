@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench quick clean
+.PHONY: all build test race bench bench-json quick clean
 
 all: test
 
@@ -24,6 +24,13 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem ./...
+
+# Benchmarks to a dated JSON report. cmd/benchjson keeps each raw benchmark
+# line in the record, so benchstat input can be recovered with
+#   jq -r '.benchmarks[].raw' BENCH_<date>.json
+bench-json:
+	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 # Fast iteration: shrunken sweeps.
 quick:

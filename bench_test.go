@@ -76,6 +76,8 @@ func BenchmarkF22IdleWaveSpeed(b *testing.B)     { benchExperiment(b, "F22") }
 func BenchmarkF23IdleWaveDecay(b *testing.B)     { benchExperiment(b, "F23") }
 func BenchmarkF24Straggler(b *testing.B)         { benchExperiment(b, "F24") }
 func BenchmarkF25Checkpoint(b *testing.B)        { benchExperiment(b, "F25") }
+func BenchmarkT9Autotune(b *testing.B)           { benchExperiment(b, "T9") }
+func BenchmarkF26TunerConvergence(b *testing.B)  { benchExperiment(b, "F26") }
 
 // --- Measured plane: the wasteful/remedied pairs on the host CPU ---
 

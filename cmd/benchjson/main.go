@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into
+// a JSON benchmark record (on stdout): one object per benchmark line with
+// the parsed metrics, plus run metadata. The original benchmark line is
+// kept verbatim in each record's "raw" field, so the text format benchstat
+// consumes can be reconstructed exactly with e.g.
+//
+//	jq -r '.benchmarks[].raw' BENCH_2026-08-06.json | benchstat /dev/stdin
+//
+// Used by `make bench-json`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	Raw         string `json:"raw"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-8  123  456 ns/op [...]" line; ok is
+// false for non-benchmark lines.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns, Raw: line}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		}
+	}
+	return b, true
+}
+
+func main() {
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

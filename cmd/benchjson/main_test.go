@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkMatmul-8   \t     123\t  456789 ns/op\t  1024 B/op\t       7 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line not parsed")
+	}
+	if b.Name != "BenchmarkMatmul-8" || b.Iterations != 123 || b.NsPerOp != 456789 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1024 {
+		t.Errorf("bytes_per_op = %v, want 1024", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 7 {
+		t.Errorf("allocs_per_op = %v, want 7", b.AllocsPerOp)
+	}
+
+	b, ok = parseLine("BenchmarkNoMem-8\t1000000\t1234.5 ns/op")
+	if !ok {
+		t.Fatal("plain line not parsed")
+	}
+	if b.NsPerOp != 1234.5 || b.BytesPerOp != nil || b.AllocsPerOp != nil {
+		t.Errorf("parsed %+v", b)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \ttenways/internal/tune\t1.7s",
+		"BenchmarkBroken-8\tnotanumber\t12 ns/op",
+		"Benchmark headers only",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}

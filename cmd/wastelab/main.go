@@ -6,8 +6,9 @@
 //
 //	wastelab -list
 //	wastelab -run T1 -machine petascale2009
-//	wastelab -run T8,F22,F23 -csv out/
+//	wastelab -run t8,f22,f23 -seed 42 -csv out/
 //	wastelab -run all -quick -csv out/
+//	wastelab -tune all -machine exascale
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		markdown    = flag.Bool("markdown", false, "render tables as markdown instead of ASCII")
 		csvDir      = flag.String("csv", "", "directory to write figure CSVs into")
+		seed        = flag.Uint64("seed", 0, "chaos scenario seed for T8/F22-F25 (0 = default; same seed, same tables)")
+		tuneID      = flag.String("tune", "", "tune one remedy parameter by id (e.g. W1-block, f25), or 'all'")
 	)
 	flag.Parse()
 
@@ -41,13 +44,18 @@ func main() {
 		}
 		return
 	}
-	if *list || *run == "" {
+	if *list || (*run == "" && *tuneID == "") {
 		fmt.Println("experiments:")
 		for _, e := range lab.Experiments() {
 			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Println("\ntunables:")
+		for _, tn := range tenways.Tunables(*quick) {
+			fmt.Printf("  %-13s %s (default %s)\n", tn.ID, tn.Title, tn.DefaultLabel())
+		}
 		if *run == "" {
-			fmt.Println("\nrun one with: wastelab -run <id> [-machine <preset>] [-quick] [-csv dir]")
+			fmt.Println("\nrun one with: wastelab -run <id> [-machine <preset>] [-quick] [-seed n] [-csv dir]")
+			fmt.Println("tune one with: wastelab -tune <id> [-machine <preset>]")
 		}
 		return
 	}
@@ -57,7 +65,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wastelab: unknown machine %q (try -machines)\n", *machineName)
 		os.Exit(2)
 	}
-	cfg := tenways.Config{Machine: spec, Quick: *quick}
+	cfg := tenways.Config{Machine: spec, Quick: *quick, Seed: *seed}
+
+	if *tuneID != "" {
+		if err := runTune(*tuneID, spec, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
+			os.Exit(1)
+		}
+		if *run == "" {
+			return
+		}
+	}
 
 	var ids []string
 	if strings.EqualFold(*run, "all") {
@@ -80,6 +98,8 @@ func main() {
 		}
 	}
 	for _, id := range ids {
+		e, _ := lab.Get(id)
+		fmt.Printf("== %s: %s [machine %s]\n", e.ID, e.Title, spec.Name)
 		out, err := lab.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wastelab: %s: %v\n", id, err)
@@ -100,7 +120,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*csvDir, strings.ToLower(id)+".csv")
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "wastelab: %v\n", err)
@@ -118,4 +138,38 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+}
+
+// runTune searches one tunable (or all of them) on the machine and prints
+// default vs tuned parameter and modeled cost.
+func runTune(id string, spec *tenways.Machine, quick bool) error {
+	var tunables []tenways.Tunable
+	if strings.EqualFold(id, "all") {
+		tunables = tenways.Tunables(quick)
+	} else {
+		tn, err := tenways.TunableByID(id, quick)
+		if err != nil {
+			return err
+		}
+		tunables = []tenways.Tunable{tn}
+	}
+	for _, tn := range tunables {
+		res, err := tn.Tune(spec, tenways.TuneOptions{})
+		if err != nil {
+			return fmt.Errorf("%s: %v", tn.ID, err)
+		}
+		def, err := tn.Objective(spec)(tn.Default)
+		if err != nil {
+			return fmt.Errorf("%s: %v", tn.ID, err)
+		}
+		saving := 0.0
+		if def.Seconds > 0 {
+			saving = 100 * (1 - res.Best.Cost.Seconds/def.Seconds)
+		}
+		fmt.Printf("== %s: %s [machine %s]\n", tn.ID, tn.Title, spec.Name)
+		fmt.Printf("   default %-14s %.4g s\n", tn.DefaultLabel(), def.Seconds)
+		fmt.Printf("   tuned   %-14s %.4g s  (%s, %d evaluations, %.1f%% saved)\n\n",
+			res.Describe(), res.Best.Cost.Seconds, res.Strategy, res.Evaluations, saving)
+	}
+	return nil
 }

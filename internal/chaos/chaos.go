@@ -24,6 +24,11 @@ import (
 	"tenways/internal/workload"
 )
 
+// DefaultSeed is the scenario seed the evaluation suite uses when the
+// caller does not pick one (core.Config.Seed, wastelab -seed): the year of
+// the keynote. A fixed seed keeps every chaos run bit-reproducible.
+const DefaultSeed uint64 = 2009
+
 // Dist selects the shape of a jitter injector's delay distribution.
 type Dist int
 

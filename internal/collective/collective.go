@@ -304,6 +304,26 @@ func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
 	return acc
 }
 
+// AllreduceAlgorithms lists the selectable allreduce implementations in
+// canonical order — the enumerated axis the T3 tunable searches.
+func AllreduceAlgorithms() []string { return []string{"flat", "rdouble", "ring"} }
+
+// AllreduceByName dispatches an allreduce by algorithm name ("flat",
+// "rdouble", "ring"), so algorithm selection can be a tuned parameter
+// rather than a call-site constant.
+func (c *Comm) AllreduceByName(alg string, x []float64, op Op) ([]float64, error) {
+	switch alg {
+	case "flat":
+		return c.AllreduceFlat(x, op), nil
+	case "rdouble":
+		return c.AllreduceRecursiveDoubling(x, op)
+	case "ring":
+		return c.AllreduceRing(x, op), nil
+	}
+	return nil, fmt.Errorf("collective: unknown allreduce algorithm %q (known: %v)",
+		alg, AllreduceAlgorithms())
+}
+
 // chunkRange partitions m elements into n nearly equal chunks and returns
 // chunk i's half-open range.
 func chunkRange(m, n, i int) (lo, hi int) {

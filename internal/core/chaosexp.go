@@ -26,15 +26,16 @@ func runT8(cfg Config) (Output, error) {
 		p, steps = 8, 12
 	}
 	const compute = 1e-3
+	seed := cfg.seed()
 	stacks := []chaos.Stack{chaos.NeighborBlocking, chaos.FlatBarrier, chaos.NonBlockingBarrier}
 	injectors := []struct {
 		name string
 		mk   func() chaos.Injector // fresh injector per run (they carry state)
 	}{
 		{"none", nil},
-		{"uniform 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Uniform, 0.1, 2009, p) }},
-		{"exponential 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Exponential, 0.1, 2009, p) }},
-		{"bursty 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Bursty, 0.1, 2009, p) }},
+		{"uniform 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Uniform, 0.1, seed, p) }},
+		{"exponential 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Exponential, 0.1, seed, p) }},
+		{"bursty 10%", func() chaos.Injector { return chaos.NewJitter(chaos.Bursty, 0.1, seed, p) }},
 		{"straggler r3 1.5x", func() chaos.Injector { return chaos.NewStraggler(3, 1.5) }},
 	}
 	run := func(stack chaos.Stack, mk func() chaos.Injector) (chaos.IdleWaveResult, error) {

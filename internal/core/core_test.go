@@ -18,7 +18,7 @@ func TestLabHasFullSuite(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "T5",
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10",
 		"F11", "F12", "F13", "F14", "T6", "T7", "F15", "F16", "F17", "F18", "F19", "F20", "F21",
-		"T8", "F22", "F23", "F24", "F25"}
+		"T8", "F22", "F23", "F24", "F25", "T9", "F26"}
 	ids := l.IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(ids), len(want))
@@ -216,6 +216,88 @@ func TestDiagnoseIdleAndSteal(t *testing.T) {
 	}
 	if !ids["W10"] || !ids["W7"] {
 		t.Fatalf("expected W10 and W7, got %v", ids)
+	}
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	l := NewLab()
+	for _, id := range []string{"t8", "f25", "T9", "f26", "t1"} {
+		e, err := l.Get(id)
+		if err != nil {
+			t.Errorf("Get(%q): %v", id, err)
+			continue
+		}
+		if !strings.EqualFold(e.ID, id) {
+			t.Errorf("Get(%q) returned %s", id, e.ID)
+		}
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	// Two runs at the same seed must render identical tables; a different
+	// seed must change the injected-noise numbers.
+	l := NewLab()
+	render := func(seed uint64) string {
+		out, err := l.Run("T8", Config{Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := out.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render(7) != render(7) {
+		t.Fatal("same seed produced different T8 tables")
+	}
+	if render(7) == render(8) {
+		t.Fatal("different seeds produced identical T8 tables")
+	}
+	if render(0) != render(chaos.DefaultSeed) {
+		t.Fatal("seed 0 should select the default seed")
+	}
+}
+
+func TestDiagnoseOnReportsTunedParameters(t *testing.T) {
+	// A run dominated by imbalance (W4) must come back with the tuned chunk
+	// size for the diagnosed machine appended to the remedy.
+	rec := trace.NewRecorder(2)
+	rec.Add(0, trace.Compute, time.Second)
+	rec.Add(1, trace.Compute, 100*time.Millisecond)
+	m := machine.Petascale2009()
+	advice, err := DiagnoseOn(rec.Breakdown(), m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range advice {
+		if a.ModeID != "W4" {
+			continue
+		}
+		found = true
+		if !strings.Contains(a.Remedy, "tuned for petascale2009") ||
+			!strings.Contains(a.Remedy, "chunk=") {
+			t.Fatalf("W4 remedy missing tuned parameter: %q", a.Remedy)
+		}
+	}
+	if !found {
+		t.Fatalf("W4 not diagnosed: %+v", advice)
+	}
+	// Modes without a registered tunable keep their generic remedy.
+	rec2 := trace.NewRecorder(2)
+	rec2.Add(0, trace.Compute, 500*time.Millisecond)
+	rec2.Add(1, trace.Compute, 500*time.Millisecond)
+	rec2.Add(0, trace.Serial, 400*time.Millisecond)
+	rec2.Add(1, trace.Serial, 400*time.Millisecond)
+	advice2, err := DiagnoseOn(rec2.Breakdown(), m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range advice2 {
+		if a.ModeID == "W5" && strings.Contains(a.Remedy, "tuned for") {
+			t.Fatalf("W5 has no tunable but got tuned remedy: %q", a.Remedy)
+		}
 	}
 }
 

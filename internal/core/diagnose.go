@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"sort"
 
+	"tenways/internal/machine"
 	"tenways/internal/trace"
+	"tenways/internal/tune"
 )
 
 // Advice is one matched waste mode with its evidence.
@@ -111,4 +113,32 @@ func Diagnose(b trace.Breakdown) []Advice {
 		return out[i].ModeID < out[j].ModeID
 	})
 	return out
+}
+
+// DiagnoseOn runs Diagnose and then concretises the advice for a specific
+// machine: every matched waste mode that has a registered tunable gets the
+// tuner's parameter choice for that machine appended to its remedy, so the
+// advice reads "coarsen granularity — on this machine, chunk=32" instead
+// of leaving the constant to the reader. quick shrinks the tuned problem
+// models (tests and -short runs).
+func DiagnoseOn(b trace.Breakdown, m *machine.Spec, quick bool) ([]Advice, error) {
+	out := Diagnose(b)
+	byMode := make(map[string]tune.Tunable)
+	for _, tn := range tune.Tunables(quick) {
+		byMode[tn.ModeID] = tn
+	}
+	cache := tune.NewCache()
+	for i, a := range out {
+		tn, ok := byMode[a.ModeID]
+		if !ok {
+			continue
+		}
+		res, err := tn.Tune(m, tune.Options{Cache: cache})
+		if err != nil {
+			return nil, fmt.Errorf("core: tuning %s for %s: %w", tn.ID, m.Name, err)
+		}
+		out[i].Remedy = fmt.Sprintf("%s — tuned for %s: %s (%d evaluations)",
+			a.Remedy, m.Name, tn.Space.Describe(res.Best.Point), res.Evaluations)
+	}
+	return out, nil
 }

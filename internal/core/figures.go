@@ -341,10 +341,8 @@ func runF13(cfg Config) (Output, error) {
 	for _, c := range cs {
 		f.Xs = append(f.Xs, float64(c))
 		m := kernels.CommAvoidingMatMul{N: n, P: p, C: c}
-		w := m.WordsPerProc()
-		words = append(words, w)
-		// Modeled time: bandwidth term + message latency term.
-		times = append(times, 8*w/spec.Net.BytesPerSec+m.MessagesPerProc()*spec.MsgTimeSec(0))
+		words = append(words, m.WordsPerProc())
+		times = append(times, m.CommSeconds(spec))
 		mem = append(mem, 8*m.MemoryPerProcWords()/(1<<30))
 	}
 	f.AddSeries("words-per-proc", words)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
+	"tenways/internal/chaos"
 	"tenways/internal/machine"
 	"tenways/internal/report"
 )
@@ -15,6 +17,10 @@ type Config struct {
 	Machine *machine.Spec
 	// Quick shrinks sweeps for fast runs (tests, -short benches).
 	Quick bool
+	// Seed drives the chaos experiments' injector streams; 0 selects
+	// chaos.DefaultSeed. Two runs at the same seed produce identical
+	// tables.
+	Seed uint64
 }
 
 func (c Config) machine() *machine.Spec {
@@ -22,6 +28,13 @@ func (c Config) machine() *machine.Spec {
 		return c.Machine
 	}
 	return machine.Petascale2009()
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return chaos.DefaultSeed
 }
 
 // Output is what an experiment produces: a table, a figure, or both.
@@ -92,15 +105,20 @@ func (l *Lab) IDs() []string {
 	return append([]string(nil), l.order...)
 }
 
-// Get returns the experiment with the given ID.
+// Get returns the experiment with the given ID, matched
+// case-insensitively ("t8" and "T8" name the same experiment).
 func (l *Lab) Get(id string) (Experiment, error) {
-	e, ok := l.byID[id]
-	if !ok {
-		known := append([]string(nil), l.order...)
-		sort.Strings(known)
-		return Experiment{}, fmt.Errorf("core: unknown experiment %q (known: %v)", id, known)
+	if e, ok := l.byID[id]; ok {
+		return e, nil
 	}
-	return e, nil
+	for _, known := range l.order {
+		if strings.EqualFold(known, id) {
+			return l.byID[known], nil
+		}
+	}
+	known := append([]string(nil), l.order...)
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (known: %v)", id, known)
 }
 
 // Run executes the experiment with the given ID.
@@ -147,5 +165,7 @@ func allExperiments() []Experiment {
 		{ID: "F23", Title: "Idle-wave decay under noise-absorbing synchronisation", Run: runF23},
 		{ID: "F24", Title: "Straggler mitigation: static vs over-decomposed self-scheduling", Run: runF24},
 		{ID: "F25", Title: "Checkpoint/replay under rank failure: interval trade-off", Run: runF25},
+		{ID: "T9", Title: "Autotuned remedy parameters: tuned vs default vs oracle", Run: runT9},
+		{ID: "F26", Title: "Tuner convergence: best-so-far cost vs evaluations", Run: runF26},
 	}
 }

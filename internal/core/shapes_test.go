@@ -353,6 +353,67 @@ func TestShapeF25CheckpointUCurve(t *testing.T) {
 	}
 }
 
+func TestShapeT9TunedBeatsDefaultEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out, err := NewLab().Run("T9", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := out.Table
+	// Columns: tunable, machine, default, tuned, default cost, tuned cost,
+	// oracle cost, evals, saving. The tuner must match or beat the
+	// hand-picked default on every (tunable, preset) pair.
+	if len(tbl.Rows) < 12 {
+		t.Fatalf("T9 rows = %d, want >= 12 (tunables x presets)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var saving float64
+		if _, err := fmtSscan(strings.TrimSuffix(row[8], "%"), &saving); err != nil {
+			t.Fatalf("bad saving cell %q: %v", row[8], err)
+		}
+		if saving < -0.05 {
+			t.Errorf("%s on %s: tuned loses to default (saving %g%%)", row[0], row[1], saving)
+		}
+	}
+}
+
+func TestShapeF26GoldenConvergesFast(t *testing.T) {
+	_, s, xs := fullFigure(t, "F26")
+	var grid, golden []float64
+	goldenEvals := 0
+	for name, ys := range s {
+		switch {
+		case strings.HasPrefix(name, "grid"):
+			grid = ys
+		case strings.HasPrefix(name, "golden"):
+			golden = ys
+			if _, err := fmt.Sscanf(name, "golden (%d evals)", &goldenEvals); err != nil {
+				t.Fatalf("bad golden series name %q: %v", name, err)
+			}
+		}
+	}
+	if grid == nil || golden == nil {
+		t.Fatalf("missing series: have %d", len(s))
+	}
+	if goldenEvals > 15 {
+		t.Errorf("golden-section used %d evaluations, want <= 15", goldenEvals)
+	}
+	if len(xs) < 30 {
+		t.Errorf("grid sweep only %d evaluations; the checkpoint axis should need a full sweep", len(xs))
+	}
+	last := len(xs) - 1
+	if golden[last] > 1.10*grid[last] {
+		t.Errorf("golden final %g > 1.10 x grid floor %g", golden[last], grid[last])
+	}
+	for name, ys := range s {
+		if !monotoneNonIncreasing(ys) {
+			t.Errorf("%s best-so-far curve not monotone: %v", name, ys)
+		}
+	}
+}
+
 func TestShapeT8BlockingAmplifiesNoise(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size experiment")

@@ -68,22 +68,17 @@ func barrierTime(spec *machine.Spec, p int, bar func(*collective.Comm)) (float64
 	return w.Run(func(r *pgas.Rank) { bar(collective.New(r)) })
 }
 
-// allreduceTime runs one allreduce of m words on p simulated ranks.
+// allreduceTime runs one allreduce of m words on p simulated ranks,
+// dispatching the algorithm by name through the same table the T3 tunable
+// searches.
 func allreduceTime(spec *machine.Spec, p, m int, alg string) (float64, error) {
 	w := pgas.NewWorld(p, spec, nil, nil)
 	x := make([]float64, m)
 	var innerErr error
 	end, err := w.Run(func(r *pgas.Rank) {
 		c := collective.New(r)
-		switch alg {
-		case "flat":
-			c.AllreduceFlat(x, collective.Sum)
-		case "rdouble":
-			if _, e := c.AllreduceRecursiveDoubling(x, collective.Sum); e != nil && r.ID() == 0 {
-				innerErr = e
-			}
-		case "ring":
-			c.AllreduceRing(x, collective.Sum)
+		if _, e := c.AllreduceByName(alg, x, collective.Sum); e != nil && r.ID() == 0 {
+			innerErr = e
 		}
 	})
 	if err != nil {

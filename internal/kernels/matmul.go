@@ -10,6 +10,7 @@ package kernels
 import (
 	"math"
 
+	"tenways/internal/machine"
 	"tenways/internal/mem"
 	"tenways/internal/sched"
 )
@@ -150,6 +151,19 @@ func (m CommAvoidingMatMul) MessagesPerProc() float64 {
 func (m CommAvoidingMatMul) MemoryPerProcWords() float64 {
 	n := float64(m.N)
 	return 3 * float64(m.C) * n * n / float64(m.P)
+}
+
+// CommSeconds returns the modeled communication time per processor on the
+// machine: the bandwidth term for the moved words plus the latency term
+// for the messages. Shared by the F13 figure and the F13 tunable.
+func (m CommAvoidingMatMul) CommSeconds(spec *machine.Spec) float64 {
+	return 8*m.WordsPerProc()/spec.Net.BytesPerSec + m.MessagesPerProc()*spec.MsgTimeSec(0)
+}
+
+// CommJoules returns the modeled communication energy per processor.
+func (m CommAvoidingMatMul) CommJoules(spec *machine.Spec) float64 {
+	perMsgBytes := 8 * m.WordsPerProc() / m.MessagesPerProc()
+	return m.MessagesPerProc() * spec.MsgEnergyJ(perMsgBytes)
 }
 
 // MaxReplication returns the largest useful c for p processors: p^(1/3).

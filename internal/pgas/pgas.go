@@ -8,6 +8,12 @@
 //
 // The runtime exposes both blocking and split-phase (async) one-sided
 // operations; the contrast between them is the W6 (overlap) experiment.
+//
+// The package holds no package-level mutable state: all state lives in the
+// World, so distinct Worlds may run concurrently from different goroutines.
+// internal/tune relies on this to evaluate world-building objectives on a
+// parallel worker pool. (A single World is still single-threaded — it is a
+// deterministic simulation, not a thread-safe container.)
 package pgas
 
 import (

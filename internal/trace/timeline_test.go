@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -91,6 +92,53 @@ func TestWriteTimelineCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "0,steal,1000.0,2000.0") {
 		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestWriteTimelineCSVGanttLayout(t *testing.T) {
+	// The CSV is a Gantt chart's input: a fixed 4-column layout and one row
+	// per span, sorted by start time regardless of attribution order.
+	r := NewRecorder(3)
+	r.EnableSpans(10)
+	base := r.started
+	r.AddInterval(2, SyncWait, base.Add(4*time.Millisecond), base.Add(6*time.Millisecond))
+	r.AddInterval(0, Compute, base.Add(1*time.Millisecond), base.Add(3*time.Millisecond))
+	r.AddInterval(1, CommWait, base.Add(2*time.Millisecond), base.Add(5*time.Millisecond))
+	var sb strings.Builder
+	if err := r.WriteTimelineCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "worker,category,start_us,end_us" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := []string{
+		"0,compute,1000.0,3000.0",
+		"1,comm-wait,2000.0,5000.0",
+		"2,sync-wait,4000.0,6000.0",
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Fatalf("row %d = %q, want %q (rows must be sorted by start)", i, lines[i+1], w)
+		}
+	}
+	var prev float64
+	for _, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 4 {
+			t.Fatalf("row %q has %d columns, want 4", line, len(cols))
+		}
+		var start float64
+		if _, err := fmt.Sscan(cols[2], &start); err != nil {
+			t.Fatalf("bad start_us in %q: %v", line, err)
+		}
+		if start < prev {
+			t.Fatalf("rows not sorted by start_us:\n%s", sb.String())
+		}
+		prev = start
 	}
 }
 

@@ -1,0 +1,38 @@
+package tune
+
+import "sync"
+
+// Cache memoizes objective evaluations across tuning runs. Keys combine
+// the workload/machine identity (the Options.CacheKey prefix) with the
+// canonical point key, so a cache can safely be shared between strategies,
+// repeated runs, and different tunables: a repeated tune of the same point
+// performs zero fresh evaluations.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]Cost
+}
+
+// NewCache returns an empty evaluation cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]Cost)} }
+
+// Get returns the memoized cost for key, if present.
+func (c *Cache) Get(key string) (Cost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put memoizes the cost for key.
+func (c *Cache) Put(key string, v Cost) {
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+}
+
+// Len returns the number of memoized evaluations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

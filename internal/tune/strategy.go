@@ -1,0 +1,153 @@
+package tune
+
+import "fmt"
+
+// Grid exhaustively evaluates the full space — the oracle every other
+// strategy is judged against. Candidates run in parallel on the bounded
+// pool; the trace order is the deterministic lexicographic enumeration.
+type Grid struct{}
+
+// Name implements Strategy.
+func (Grid) Name() string { return "grid" }
+
+// Search implements Strategy.
+func (Grid) Search(r *Run) error {
+	_, err := r.Eval(r.Space().Points())
+	return err
+}
+
+// GoldenSection searches a single ordered numeric axis assuming the
+// objective is unimodal along it — the shape of block-size, aggregation
+// and checkpoint-interval trade-offs. It keeps one interior probe alive
+// across iterations (the golden-ratio invariant), so each shrink of the
+// bracket costs one fresh evaluation and convergence takes O(log range)
+// evaluations where the grid needs the full sweep.
+type GoldenSection struct{}
+
+// Name implements Strategy.
+func (GoldenSection) Name() string { return "golden" }
+
+// invphi is 1/φ, the bracket shrink factor.
+const invphi = 0.6180339887498949
+
+// Search implements Strategy.
+func (g GoldenSection) Search(r *Run) error {
+	s := r.Space()
+	if s.Dims() != 1 || !s.Axes()[0].Numeric() {
+		return fmt.Errorf("tune: golden-section needs exactly one numeric axis, space has %d axes", s.Dims())
+	}
+	lo, hi := 0, s.Axes()[0].Len()-1
+	probe := func(i int) (float64, error) {
+		c, err := r.Eval1(Point{i})
+		return c.Seconds, err
+	}
+	interior := func(a, b int) (int, int) {
+		span := float64(b - a)
+		c := b - int(span*invphi+0.5)
+		d := a + int(span*invphi+0.5)
+		if c < a+1 {
+			c = a + 1
+		}
+		if d > b-1 {
+			d = b - 1
+		}
+		if c >= d {
+			c, d = a+1, b-1
+		}
+		return c, d
+	}
+	if hi-lo > 2 {
+		c, d := interior(lo, hi)
+		fc, err := probe(c)
+		if err != nil {
+			return err
+		}
+		fd, err := probe(d)
+		if err != nil {
+			return err
+		}
+		for hi-lo > 2 && c < d {
+			if fc <= fd {
+				hi = d
+				d = c
+				fd = fc
+				c, _ = interior(lo, hi)
+				if c >= d {
+					break
+				}
+				if fc, err = probe(c); err != nil {
+					return err
+				}
+			} else {
+				lo = c
+				c = d
+				fc = fd
+				_, d = interior(lo, hi)
+				if c >= d {
+					break
+				}
+				if fd, err = probe(d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Sweep the collapsed bracket: at most a handful of points, most of
+	// them already cached.
+	final := make([]Point, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		final = append(final, Point{i})
+	}
+	_, err := r.Eval(final)
+	return err
+}
+
+// HillClimb is random-restart steepest-descent over the index space: from
+// each seeded random start it evaluates the full ±1 neighbourhood (in
+// parallel) and moves to the best improving neighbour until no neighbour
+// improves, then restarts. It is the default for multi-dimensional spaces
+// where neither enumeration nor unimodality applies.
+type HillClimb struct {
+	// Restarts is the number of random starts; <= 0 selects 3.
+	Restarts int
+}
+
+// Name implements Strategy.
+func (h HillClimb) Name() string { return "hillclimb" }
+
+// Search implements Strategy.
+func (h HillClimb) Search(r *Run) error {
+	restarts := h.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	s := r.Space()
+	for try := 0; try < restarts; try++ {
+		cur := make(Point, s.Dims())
+		for d, a := range s.Axes() {
+			cur[d] = r.Rand().Intn(a.Len())
+		}
+		fcur, err := r.Eval1(cur)
+		if err != nil {
+			return err
+		}
+		for {
+			neigh := s.Neighbors(cur)
+			costs, err := r.Eval(neigh)
+			if err != nil {
+				return err
+			}
+			bestI := -1
+			for i, c := range costs {
+				if c.Seconds < fcur.Seconds && (bestI < 0 || c.Seconds < costs[bestI].Seconds) {
+					bestI = i
+				}
+			}
+			if bestI < 0 {
+				break // local optimum
+			}
+			cur, fcur = neigh[bestI], costs[bestI]
+		}
+	}
+	return nil
+}

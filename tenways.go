@@ -18,6 +18,11 @@
 // seeded, deterministic noise and faults into simulated worlds so the
 // remedies can be tested against extrinsic waste too; see examples/chaos.
 //
+// The tune surface (Tunables, TunableByID, DiagnoseOn) searches each
+// remedy's parameter space — block sizes, message sizes, replication
+// factors, checkpoint intervals, algorithm choices — for the machine at
+// hand instead of trusting hard-coded constants; see examples/tune.
+//
 // The heavy machinery (cache and network simulators, the PGAS runtime, the
 // collectives, the kernels) lives under internal/; this package re-exports
 // the stable surface.
@@ -31,6 +36,7 @@ import (
 	"tenways/internal/pgas"
 	"tenways/internal/sched"
 	"tenways/internal/trace"
+	"tenways/internal/tune"
 	"tenways/internal/waste"
 	"tenways/internal/workload"
 )
@@ -87,7 +93,7 @@ type Output = core.Output
 // Experiment is one registered table or figure generator.
 type Experiment = core.Experiment
 
-// NewLab returns the full evaluation suite: T1–T8 and F1–F25.
+// NewLab returns the full evaluation suite: T1–T9 and F1–F26.
 func NewLab() *Lab { return core.NewLab() }
 
 // Injector perturbs a simulated run: after a rank spends d busy seconds
@@ -161,6 +167,54 @@ type Advice = core.Advice
 // Diagnose maps a measured trace breakdown to the waste modes it exhibits,
 // most severe first.
 func Diagnose(b Breakdown) []Advice { return core.Diagnose(b) }
+
+// DiagnoseOn is Diagnose with the remedies concretised for a machine:
+// every matched waste mode that has a registered tunable gets the tuner's
+// parameter choice for that machine appended to its remedy. quick shrinks
+// the tuned problem models.
+func DiagnoseOn(b Breakdown, m *Machine, quick bool) ([]Advice, error) {
+	return core.DiagnoseOn(b, m, quick)
+}
+
+// Tunable is one registered remedy parameter: its search space, the
+// previously hard-coded default, and a machine-aware model objective.
+type Tunable = tune.Tunable
+
+// TuneOptions configures a tunable search (strategy, budget, workers,
+// shared cache); the zero value selects the tunable's natural strategy.
+type TuneOptions = tune.Options
+
+// TuneResult is a completed search: the chosen point, the full evaluation
+// trace, and the modeled time/energy at the optimum.
+type TuneResult = tune.Result
+
+// Tunables returns the registered remedy parameters (matmul block size,
+// aggregation size, allreduce algorithm, replication factor, chunk size,
+// checkpoint interval). quick shrinks the modeled problems.
+func Tunables(quick bool) []Tunable { return tune.Tunables(quick) }
+
+// TunableByID returns the named tunable ("W1-block", "F25-interval", ...;
+// the waste-mode id alone also matches), case-insensitively.
+func TunableByID(id string, quick bool) (Tunable, error) { return tune.ByID(id, quick) }
+
+// TuneStrategy is a pluggable parameter search (grid, golden-section,
+// hill-climbing).
+type TuneStrategy = tune.Strategy
+
+// TuneGrid returns the exhaustive-sweep strategy — the oracle every
+// smarter search is judged against.
+func TuneGrid() TuneStrategy { return tune.Grid{} }
+
+// TuneGolden returns the golden-section strategy for unimodal
+// single-axis objectives: O(log range) evaluations.
+func TuneGolden() TuneStrategy { return tune.GoldenSection{} }
+
+// TuneCache memoizes objective evaluations across tuning runs; share one
+// to make repeated tunes of the same (machine, tunable) free.
+type TuneCache = tune.Cache
+
+// NewTuneCache returns an empty evaluation cache.
+func NewTuneCache() *TuneCache { return tune.NewCache() }
 
 // StencilResult is the outcome of an integrated stencil campaign.
 type StencilResult = core.StencilResult
