@@ -25,12 +25,16 @@ BENCH ?= .
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem ./...
 
-# Benchmarks to a dated JSON report. cmd/benchjson keeps each raw benchmark
-# line in the record, so benchstat input can be recovered with
+# Benchmarks plus a quick parallel lab run, merged into one dated JSON
+# report. cmd/benchjson keeps each raw benchmark line in the record, so
+# benchstat input can be recovered with
 #   jq -r '.benchmarks[].raw' BENCH_<date>.json
+# and the full lab report (tables, figures, per-experiment metrics) rides
+# along under ".lab".
 bench-json:
-	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
-	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+	$(GO) run ./cmd/wastelab -run all -quick -parallel 4 -json LAB_$$(date +%Y-%m-%d).json > /dev/null
+	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson -lab LAB_$$(date +%Y-%m-%d).json > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote LAB_$$(date +%Y-%m-%d).json and BENCH_$$(date +%Y-%m-%d).json"
 
 # Fast iteration: shrunken sweeps.
 quick:

@@ -1,10 +1,16 @@
-// Command benchjson converts `go test -bench` text output (on stdin) into
-// a JSON benchmark record (on stdout): one object per benchmark line with
-// the parsed metrics, plus run metadata. The original benchmark line is
-// kept verbatim in each record's "raw" field, so the text format benchstat
-// consumes can be reconstructed exactly with e.g.
+// Command benchjson converts benchmark results into one JSON record (on
+// stdout). It accepts two inputs, separately or together:
 //
-//	jq -r '.benchmarks[].raw' BENCH_2026-08-06.json | benchstat /dev/stdin
+//   - `go test -bench` text on stdin: one object per benchmark line with
+//     the parsed metrics, plus run metadata. The original benchmark line
+//     is kept verbatim in each record's "raw" field, so the text format
+//     benchstat consumes can be reconstructed exactly with e.g.
+//     jq -r '.benchmarks[].raw' BENCH_2026-08-06.json | benchstat /dev/stdin
+//   - a wastelab -json lab report, via -lab FILE (or on stdin, detected by
+//     its leading '{'): the report is embedded under "lab" and each
+//     successful experiment also becomes a pseudo-benchmark
+//     BenchmarkLab/<id>-<workers> carrying its wall time, so lab runs and
+//     Go benchmarks share one schema downstream.
 //
 // Used by `make bench-json`.
 package main
@@ -12,12 +18,16 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"tenways"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -33,11 +43,12 @@ type Benchmark struct {
 
 // Report is the emitted document.
 type Report struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Lab        *tenways.LabReport `json:"lab,omitempty"`
 }
 
 // parseLine parses one "BenchmarkName-8  123  456 ns/op [...]" line; ok is
@@ -71,28 +82,115 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-func main() {
+// labBenchmarks projects a lab report's successful experiments into the
+// benchmark schema: one pseudo-benchmark per experiment, iterations 1,
+// ns/op the measured wall time. Failed experiments stay visible in the
+// embedded report's error fields instead.
+func labBenchmarks(lr *tenways.LabReport) []Benchmark {
+	var out []Benchmark
+	for _, rec := range lr.Results {
+		if rec.Error != "" {
+			continue
+		}
+		name := fmt.Sprintf("BenchmarkLab/%s-%d", rec.ID, lr.Workers)
+		ns := rec.WallMS * 1e6
+		out = append(out, Benchmark{
+			Name:       name,
+			Iterations: 1,
+			NsPerOp:    ns,
+			Raw:        fmt.Sprintf("%s\t%d\t%.0f ns/op", name, 1, ns),
+		})
+	}
+	return out
+}
+
+// readLabReport decodes one wastelab -json document.
+func readLabReport(r io.Reader) (*tenways.LabReport, error) {
+	var lr tenways.LabReport
+	if err := json.NewDecoder(r).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("parse lab report: %v", err)
+	}
+	return &lr, nil
+}
+
+// run reads bench text (or an auto-detected lab report) from stdin and an
+// optional lab report from labPath, and writes the merged JSON to stdout.
+func run(stdin io.Reader, stdout io.Writer, labPath string) error {
 	rep := Report{
 		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if b, ok := parseLine(line); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+
+	if labPath != "" {
+		f, err := os.Open(labPath)
+		if err != nil {
+			return err
+		}
+		rep.Lab, err = readLabReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %v", labPath, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, labBenchmarks(rep.Lab)...)
+	}
+
+	// Peek at stdin: a leading '{' means a lab report was piped in directly
+	// (wastelab -json - | benchjson); anything else is `go test -bench` text.
+	br := bufio.NewReaderSize(stdin, 1<<20)
+	first, err := peekNonSpace(br)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	switch {
+	case err == io.EOF:
+		// Empty stdin: fine when -lab supplied the data.
+	case first == '{':
+		lr, err := readLabReport(br)
+		if err != nil {
+			return err
+		}
+		if rep.Lab == nil {
+			rep.Lab = lr
+		}
+		rep.Benchmarks = append(rep.Benchmarks, labBenchmarks(lr)...)
+	default:
+		sc := bufio.NewScanner(br)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if b, ok := parseLine(strings.TrimSpace(sc.Text())); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
+
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return enc.Encode(rep)
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming it.
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		return b, br.UnreadByte()
+	}
+}
+
+func main() {
+	labPath := flag.String("lab", "", "embed a wastelab -json lab report from this file")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *labPath); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

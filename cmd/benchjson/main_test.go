@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tenways"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkMatmul-8   \t     123\t  456789 ns/op\t  1024 B/op\t       7 allocs/op")
@@ -35,5 +42,65 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("line %q parsed as a benchmark", line)
 		}
+	}
+}
+
+// TestLabReportRoundTrip feeds a real wastelab -json document through the
+// stdin auto-detection path and checks the lab report is embedded intact
+// and its experiments appear as pseudo-benchmarks.
+func TestLabReportRoundTrip(t *testing.T) {
+	lab := tenways.NewLab()
+	cfg := tenways.Config{Quick: true}
+	results, err := lab.RunAll(context.Background(), cfg, tenways.RunOptions{
+		Workers: 2, IDs: []string{"T1", "F16"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(tenways.NewLabReport(cfg, 2, results), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run(strings.NewReader(string(blob)+"\n"), &out, ""); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lab == nil || len(rep.Lab.Results) != 2 || rep.Lab.Workers != 2 {
+		t.Fatalf("lab report not embedded: %+v", rep.Lab)
+	}
+	if rep.Lab.Results[0].ID != "T1" || rep.Lab.Results[0].Metrics.Counter("lab.runs") != 1 {
+		t.Fatalf("lab record lost in round trip: %+v", rep.Lab.Results[0])
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d pseudo-benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkLab/T1-2" || b.Iterations != 1 || b.NsPerOp <= 0 {
+		t.Fatalf("pseudo-benchmark malformed: %+v", b)
+	}
+	if pb, ok := parseLine(b.Raw); !ok || pb.Name != b.Name {
+		t.Fatalf("raw line does not re-parse: %q", b.Raw)
+	}
+}
+
+// TestBenchTextStillParses pins the legacy stdin path after the -lab
+// extension: plain `go test -bench` text must keep working.
+func TestBenchTextStillParses(t *testing.T) {
+	in := "goos: linux\nBenchmarkMatmul-8\t123\t456789 ns/op\nPASS\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out, ""); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lab != nil || len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkMatmul-8" {
+		t.Fatalf("bench text mis-parsed: %+v", rep)
 	}
 }

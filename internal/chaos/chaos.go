@@ -20,6 +20,7 @@ package chaos
 import (
 	"fmt"
 
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/workload"
 )
@@ -180,6 +181,11 @@ func (s *Spike) Delay(rank int, now, d float64) float64 {
 type Scenario struct {
 	injectors []Injector
 	faults    []*LinkFault
+
+	// Injection instruments, bound at Arm time from the world's registry so
+	// the hot Perturber path avoids registry lookups.
+	injections *obs.Counter
+	injected   *obs.Gauge
 }
 
 // NewScenario returns an empty scenario.
@@ -208,6 +214,10 @@ func (s *Scenario) ComputeDelay(rank int, now, d float64) float64 {
 	for _, in := range s.injectors {
 		total += in.Delay(rank, now, d)
 	}
+	if total > 0 && s.injections != nil {
+		s.injections.Inc()
+		s.injected.Add(total)
+	}
 	return total
 }
 
@@ -217,6 +227,9 @@ func (s *Scenario) ComputeDelay(rank int, now, d float64) float64 {
 // byte-identical to an unperturbed one.
 func (s *Scenario) Arm(w *pgas.World) {
 	if len(s.injectors) > 0 {
+		reg := w.Obs()
+		s.injections = reg.Counter("chaos.injections")
+		s.injected = reg.Gauge("chaos.injected_seconds")
 		w.SetPerturber(s)
 	}
 	for _, f := range s.faults {

@@ -5,6 +5,7 @@ import (
 
 	"tenways/internal/collective"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/trace"
 )
@@ -28,6 +29,7 @@ type CheckpointConfig struct {
 	FailStep   int
 	FailRank   int
 	RestartSec float64
+	Obs        *obs.Registry // nil = process-wide default registry
 }
 
 // CheckpointResult is the campaign outcome.
@@ -51,6 +53,9 @@ func RunCheckpointCampaign(spec *machine.Spec, cfg CheckpointConfig) (Checkpoint
 		return CheckpointResult{}, fmt.Errorf("chaos: failing rank %d outside world of %d", cfg.FailRank, p)
 	}
 	w := pgas.NewWorld(p, spec, nil, nil)
+	if cfg.Obs != nil {
+		w.SetObs(cfg.Obs)
+	}
 	var checkpoints, replay int
 	makespan, err := w.Run(func(r *pgas.Rank) {
 		id := r.ID()
@@ -89,6 +94,9 @@ func RunCheckpointCampaign(spec *machine.Spec, cfg CheckpointConfig) (Checkpoint
 	if err != nil {
 		return CheckpointResult{}, err
 	}
+	reg := w.Obs()
+	reg.Counter("chaos.checkpoints").Add(int64(checkpoints))
+	reg.Counter("chaos.replay_steps").Add(int64(replay))
 	return CheckpointResult{
 		Makespan:    makespan,
 		Checkpoints: checkpoints,

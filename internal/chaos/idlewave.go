@@ -5,6 +5,7 @@ import (
 
 	"tenways/internal/collective"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/trace"
 )
@@ -74,6 +75,7 @@ type IdleWaveConfig struct {
 	Stack   Stack
 	Cost    pgas.CostModel // nil = topology-free LogGP
 	Chaos   *Scenario      // nil = quiet run
+	Obs     *obs.Registry  // nil = process-wide default registry
 }
 
 func (c IdleWaveConfig) offsets() []int {
@@ -104,6 +106,9 @@ func RunIdleWave(spec *machine.Spec, cfg IdleWaveConfig) (IdleWaveResult, error)
 	}
 	offs := cfg.offsets()
 	w := pgas.NewWorld(p, spec, cfg.Cost, nil)
+	if cfg.Obs != nil {
+		w.SetObs(cfg.Obs)
+	}
 	// One slot per (offset, direction) so concurrent puts never overlap.
 	w.Alloc("halo", 2*len(offs)*words)
 	if cfg.Chaos != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/trace"
 )
@@ -24,6 +25,7 @@ type StragglerConfig struct {
 	TaskSec float64
 	Dynamic bool
 	Chaos   *Scenario
+	Obs     *obs.Registry // nil = process-wide default registry
 }
 
 // StragglerResult is the campaign outcome.
@@ -43,6 +45,9 @@ func RunStragglerCampaign(spec *machine.Spec, cfg StragglerConfig) (StragglerRes
 		return StragglerResult{}, fmt.Errorf("chaos: straggler campaign needs tasks and a positive task cost")
 	}
 	w := pgas.NewWorld(p, spec, nil, nil)
+	if cfg.Obs != nil {
+		w.SetObs(cfg.Obs)
+	}
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(w)
 	}

@@ -16,6 +16,7 @@ import "fmt"
 // so the payload must be order-insensitive within a block — true for the
 // sort campaign, which re-sorts received keys anyway.
 func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float64 {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if len(data) != n {
@@ -29,13 +30,13 @@ func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float6
 	for off := 1; off < n; off++ {
 		dst := (me + off) % n
 		block := data[dst]
-		r.Send(dst, fmt.Sprintf("a2a.cnt.%d", me), []float64{float64(len(block))})
+		c.send(dst, fmt.Sprintf("a2a.cnt.%d", me), []float64{float64(len(block))})
 		if len(block) == 0 {
 			continue
 		}
 		box := fmt.Sprintf("a2a.%d", me)
 		if chunkWords <= 0 || chunkWords >= len(block) {
-			r.Send(dst, box, block)
+			c.send(dst, box, block)
 			continue
 		}
 		for lo := 0; lo < len(block); lo += chunkWords {
@@ -43,7 +44,7 @@ func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float6
 			if hi > len(block) {
 				hi = len(block)
 			}
-			r.Send(dst, box, block[lo:hi])
+			c.send(dst, box, block[lo:hi])
 		}
 	}
 	// Receive phase: header first, then accumulate until complete.

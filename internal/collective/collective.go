@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 )
 
@@ -39,11 +40,36 @@ func Max(a, b float64) float64 {
 type Comm struct {
 	r      *pgas.Rank
 	counts map[string]int64 // consumed-signal thresholds per flag
+
+	// Hot-path instruments, fetched once from the world's registry: ops
+	// counts collective invocations, bytes the payload this rank injected
+	// into collectives (signals count as 8 bytes like the pgas runtime's).
+	ops   *obs.Counter
+	bytes *obs.Counter
 }
 
 // New creates the rank's collective context.
 func New(r *pgas.Rank) *Comm {
-	return &Comm{r: r, counts: make(map[string]int64)}
+	reg := r.World().Obs()
+	return &Comm{
+		r:      r,
+		counts: make(map[string]int64),
+		ops:    reg.Counter("collective.ops"),
+		bytes:  reg.Counter("collective.bytes"),
+	}
+}
+
+// send is pgas.Rank.Send with byte accounting.
+func (c *Comm) send(dst int, box string, vals []float64) {
+	c.bytes.Add(int64(8 * len(vals)))
+	c.r.Send(dst, box, vals)
+}
+
+// signal is pgas.Rank.Signal with byte accounting (signals are 8-byte
+// messages in the runtime's cost model).
+func (c *Comm) signal(dst int, flag string) {
+	c.bytes.Add(8)
+	c.r.Signal(dst, flag)
 }
 
 // Rank returns the underlying pgas rank.
@@ -65,6 +91,7 @@ func (c *Comm) waitSync(flag string, k int64) {
 // BarrierCentral is the naive barrier: everyone signals rank 0; rank 0
 // signals everyone back. O(P) serialised messages at the root.
 func (c *Comm) BarrierCentral() {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if n == 1 {
@@ -73,10 +100,10 @@ func (c *Comm) BarrierCentral() {
 	if r.ID() == 0 {
 		c.waitSync("bar.c.up", int64(n-1))
 		for d := 1; d < n; d++ {
-			r.Signal(d, "bar.c.down")
+			c.signal(d, "bar.c.down")
 		}
 	} else {
-		r.Signal(0, "bar.c.up")
+		c.signal(0, "bar.c.up")
 		c.waitSync("bar.c.down", 1)
 	}
 }
@@ -84,11 +111,12 @@ func (c *Comm) BarrierCentral() {
 // BarrierDissemination is the O(log P) dissemination barrier: in round k,
 // rank i signals rank (i+2^k) mod P and waits for the symmetric signal.
 func (c *Comm) BarrierDissemination() {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
 		flag := fmt.Sprintf("bar.d.%d", k)
-		r.Signal((r.ID()+dist)%n, flag)
+		c.signal((r.ID()+dist)%n, flag)
 		c.waitSync(flag, 1)
 	}
 }
@@ -96,6 +124,7 @@ func (c *Comm) BarrierDissemination() {
 // BarrierTree is a binomial combine-then-broadcast barrier: O(log P) depth
 // with half the messages of dissemination.
 func (c *Comm) BarrierTree() {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if n == 1 {
@@ -106,11 +135,11 @@ func (c *Comm) BarrierTree() {
 		c.waitSync("bar.t.up", int64(nch))
 	}
 	if id != 0 {
-		r.Signal(parent(id), "bar.t.up")
+		c.signal(parent(id), "bar.t.up")
 		c.waitSync("bar.t.down", 1)
 	}
 	for _, ch := range children(id, n) {
-		r.Signal(ch, "bar.t.down")
+		c.signal(ch, "bar.t.down")
 	}
 }
 
@@ -123,6 +152,7 @@ func (c *Comm) BarrierTree() {
 // chaos idle-wave experiments' remedied stack. Begin/End pairs must not
 // overlap on one rank; successive epochs are fine.
 func (c *Comm) BarrierBegin() {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if n == 1 {
@@ -130,7 +160,7 @@ func (c *Comm) BarrierBegin() {
 	}
 	id := r.ID()
 	if id != 0 && len(children(id, n)) == 0 {
-		r.Signal(parent(id), "bar.nb.up")
+		c.signal(parent(id), "bar.nb.up")
 	}
 }
 
@@ -138,6 +168,7 @@ func (c *Comm) BarrierBegin() {
 // BarrierBegin, blocking (as sync-wait) until every rank's arrival has been
 // combined and the release has propagated back down the tree.
 func (c *Comm) BarrierEnd() {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if n == 1 {
@@ -148,14 +179,14 @@ func (c *Comm) BarrierEnd() {
 	if len(ch) > 0 {
 		c.waitSync("bar.nb.up", int64(len(ch)))
 		if id != 0 {
-			r.Signal(parent(id), "bar.nb.up")
+			c.signal(parent(id), "bar.nb.up")
 		}
 	}
 	if id != 0 {
 		c.waitSync("bar.nb.down", 1)
 	}
 	for _, d := range ch {
-		r.Signal(d, "bar.nb.down")
+		c.signal(d, "bar.nb.down")
 	}
 }
 
@@ -186,11 +217,12 @@ func children(vr, n int) []int {
 // BroadcastFlat sends x from rank 0 to everyone with P−1 direct sends.
 // All ranks return the broadcast vector.
 func (c *Comm) BroadcastFlat(x []float64) []float64 {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if r.ID() == 0 {
 		for d := 1; d < n; d++ {
-			r.Send(d, "bc.flat", x)
+			c.send(d, "bc.flat", x)
 		}
 		return append([]float64(nil), x...)
 	}
@@ -200,6 +232,7 @@ func (c *Comm) BroadcastFlat(x []float64) []float64 {
 // BroadcastTree broadcasts from rank 0 down a binomial tree: O(log P)
 // depth versus the flat variant's O(P) serialisation at the root.
 func (c *Comm) BroadcastTree(x []float64) []float64 {
+	c.ops.Inc()
 	r := c.r
 	var data []float64
 	if r.ID() == 0 {
@@ -208,7 +241,7 @@ func (c *Comm) BroadcastTree(x []float64) []float64 {
 		data = r.Recv("bc.tree")
 	}
 	for _, ch := range children(r.ID(), r.N()) {
-		r.Send(ch, "bc.tree", data)
+		c.send(ch, "bc.tree", data)
 	}
 	return data
 }
@@ -216,6 +249,7 @@ func (c *Comm) BroadcastTree(x []float64) []float64 {
 // AllreduceFlat is the naive allreduce: everyone sends its vector to rank
 // 0, which combines and broadcasts. O(P) messages serialised at the root.
 func (c *Comm) AllreduceFlat(x []float64, op Op) []float64 {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	m := len(x)
@@ -232,11 +266,11 @@ func (c *Comm) AllreduceFlat(x []float64, op Op) []float64 {
 		}
 		r.Compute(float64((n-1)*m), float64(8*n*m)) // combining cost
 		for d := 1; d < n; d++ {
-			r.Send(d, "ar.flat.down", acc)
+			c.send(d, "ar.flat.down", acc)
 		}
 		return acc
 	}
-	r.Send(0, "ar.flat.up", x)
+	c.send(0, "ar.flat.up", x)
 	return r.Recv("ar.flat.down")
 }
 
@@ -244,6 +278,7 @@ func (c *Comm) AllreduceFlat(x []float64, op Op) []float64 {
 // allreduce: each round exchanges full vectors with the rank at XOR
 // distance 2^k. The rank count must be a power of two.
 func (c *Comm) AllreduceRecursiveDoubling(x []float64, op Op) ([]float64, error) {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	if n&(n-1) != 0 {
@@ -254,7 +289,7 @@ func (c *Comm) AllreduceRecursiveDoubling(x []float64, op Op) ([]float64, error)
 	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
 		partner := r.ID() ^ dist
 		box := fmt.Sprintf("ar.rd.%d", k)
-		r.Send(partner, box, acc)
+		c.send(partner, box, acc)
 		in := r.Recv(box)
 		for i := 0; i < m; i++ {
 			acc[i] = op(acc[i], in[i])
@@ -268,6 +303,7 @@ func (c *Comm) AllreduceRecursiveDoubling(x []float64, op Op) ([]float64, error)
 // of n−1 chunk steps followed by an allgather of n−1 chunk steps, sending
 // only 2·m·(n−1)/n elements per rank in total. Works for any rank count.
 func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
+	c.ops.Inc()
 	r := c.r
 	n := r.N()
 	m := len(x)
@@ -283,7 +319,7 @@ func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
 		sendChunk := (id - s + n) % n
 		recvChunk := (id - s - 1 + n) % n
 		lo, hi := chunkRange(m, n, sendChunk)
-		r.Send(right, fmt.Sprintf("ar.ring.%d", s), acc[lo:hi])
+		c.send(right, fmt.Sprintf("ar.ring.%d", s), acc[lo:hi])
 		in := r.Recv(fmt.Sprintf("ar.ring.%d", s))
 		rlo, rhi := chunkRange(m, n, recvChunk)
 		for i := rlo; i < rhi; i++ {
@@ -296,7 +332,7 @@ func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
 		sendChunk := (id - s + 1 + n) % n
 		recvChunk := (id - s + n) % n
 		lo, hi := chunkRange(m, n, sendChunk)
-		r.Send(right, fmt.Sprintf("ar.ring.g%d", s), acc[lo:hi])
+		c.send(right, fmt.Sprintf("ar.ring.g%d", s), acc[lo:hi])
 		in := r.Recv(fmt.Sprintf("ar.ring.g%d", s))
 		rlo, _ := chunkRange(m, n, recvChunk)
 		copy(acc[rlo:], in)

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/collective"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/report"
 	"tenways/internal/workload"
@@ -43,6 +46,10 @@ func (r BFSResult) TEPS() float64 {
 // per level (W3); the remedied stack sends bulk and uses recursive
 // doubling with no extra barrier (p must be a power of two for it).
 func BFSCampaign(spec *machine.Spec, p int, g *workload.Graph, wasteful bool) (BFSResult, error) {
+	return bfsCampaign(obs.Default(), spec, p, g, wasteful)
+}
+
+func bfsCampaign(reg *obs.Registry, spec *machine.Spec, p int, g *workload.Graph, wasteful bool) (BFSResult, error) {
 	if !wasteful && p&(p-1) != 0 {
 		return BFSResult{}, fmt.Errorf("core: remedied BFS needs power-of-two ranks, got %d", p)
 	}
@@ -56,6 +63,7 @@ func BFSCampaign(spec *machine.Spec, p int, g *workload.Graph, wasteful bool) (B
 	lo := func(rk int) int { return rk * n / p }
 
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	dist := make([][]int, p) // per-rank local distance slices
 	levels := 0
 	var innerErr error
@@ -155,7 +163,7 @@ func BFSCampaign(spec *machine.Spec, p int, g *workload.Graph, wasteful bool) (B
 }
 
 // runF21 sweeps rank count for the distributed BFS on an R-MAT graph.
-func runF21(cfg Config) (Output, error) {
+func runF21(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	scale, edgeFactor := 12, 8
 	ps := []int{2, 4, 8, 16, 32}
@@ -169,12 +177,15 @@ func runF21(cfg Config) (Output, error) {
 		"ranks", "seconds / MTEPS")
 	var wSecs, rSecs, wTeps, rTeps []float64
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
-		wres, err := BFSCampaign(spec, p, g, true)
+		wres, err := bfsCampaign(cfg.metrics(), spec, p, g, true)
 		if err != nil {
 			return Output{}, err
 		}
-		rres, err := BFSCampaign(spec, p, g, false)
+		rres, err := bfsCampaign(cfg.metrics(), spec, p, g, false)
 		if err != nil {
 			return Output{}, err
 		}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/collective"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/report"
 )
@@ -34,6 +37,10 @@ func (r CGCampaignResult) SecondsPerIteration() float64 {
 // sStep iterations, at ~1.5× the local flops — Yelick's communication-
 // avoiding Krylov trade, which wins once allreduce latency dominates.
 func CGCampaign(spec *machine.Spec, p, gridN, iters, sStep int) (CGCampaignResult, error) {
+	return cgCampaign(obs.Default(), spec, p, gridN, iters, sStep)
+}
+
+func cgCampaign(reg *obs.Registry, spec *machine.Spec, p, gridN, iters, sStep int) (CGCampaignResult, error) {
 	if p&(p-1) != 0 {
 		return CGCampaignResult{}, fmt.Errorf("core: CGCampaign needs power-of-two ranks, got %d", p)
 	}
@@ -46,6 +53,7 @@ func CGCampaign(spec *machine.Spec, p, gridN, iters, sStep int) (CGCampaignResul
 		words = 1
 	}
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	w.Alloc("halo", 2*words)
 	buf := make([]float64, words)
 	scalars := make([]float64, 2*sStep)
@@ -101,7 +109,7 @@ func CGCampaign(spec *machine.Spec, p, gridN, iters, sStep int) (CGCampaignResul
 }
 
 // runF19 sweeps rank count for standard versus s-step CG.
-func runF19(cfg Config) (Output, error) {
+func runF19(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	gridN, iters := 2048, 20
 	ps := []int{2, 4, 8, 16, 32, 64, 128}
@@ -114,12 +122,15 @@ func runF19(cfg Config) (Output, error) {
 		"ranks", "seconds-per-iteration")
 	var std, ca []float64
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
-		s, err := CGCampaign(spec, p, gridN, iters, 1)
+		s, err := cgCampaign(cfg.metrics(), spec, p, gridN, iters, 1)
 		if err != nil {
 			return Output{}, err
 		}
-		c, err := CGCampaign(spec, p, gridN, iters, 4)
+		c, err := cgCampaign(cfg.metrics(), spec, p, gridN, iters, 4)
 		if err != nil {
 			return Output{}, err
 		}

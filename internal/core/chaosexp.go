@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/chaos"
@@ -19,7 +21,7 @@ import (
 // costs wildly different amounts of makespan depending on the
 // synchronisation stack — blocking barriers turn local delays into global
 // ones, while slack-bearing stacks absorb part of them.
-func runT8(cfg Config) (Output, error) {
+func runT8(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, steps := 16, 40
 	if cfg.Quick {
@@ -39,7 +41,7 @@ func runT8(cfg Config) (Output, error) {
 		{"straggler r3 1.5x", func() chaos.Injector { return chaos.NewStraggler(3, 1.5) }},
 	}
 	run := func(stack chaos.Stack, mk func() chaos.Injector) (chaos.IdleWaveResult, error) {
-		c := chaos.IdleWaveConfig{Ranks: p, Steps: steps, Compute: compute, Words: 16, Stack: stack}
+		c := chaos.IdleWaveConfig{Ranks: p, Steps: steps, Compute: compute, Words: 16, Stack: stack, Obs: cfg.metrics()}
 		if mk != nil {
 			c.Chaos = chaos.NewScenario().Add(mk())
 		}
@@ -57,6 +59,9 @@ func runT8(cfg Config) (Output, error) {
 	for _, inj := range injectors {
 		row := []string{inj.name}
 		for _, stack := range stacks {
+			if err := ctx.Err(); err != nil {
+				return Output{}, err
+			}
 			res, err := run(stack, inj.mk)
 			if err != nil {
 				return Output{}, err
@@ -83,7 +88,7 @@ func runT8(cfg Config) (Output, error) {
 // blocking halo chain travels through the neighbour dependencies at finite
 // speed — one longest-offset hop per step — so longer-range communication
 // and lower-diameter topologies accelerate the wave.
-func runF22(cfg Config) (Output, error) {
+func runF22(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, steps := 24, 36
 	if cfg.Quick {
@@ -110,9 +115,13 @@ func runF22(cfg Config) (Output, error) {
 		f.Xs = append(f.Xs, float64(r))
 	}
 	for _, v := range variants {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		c := chaos.IdleWaveConfig{
 			Ranks: p, Steps: steps, Compute: compute, Words: words,
 			Offsets: v.offs, Stack: chaos.NeighborBlocking,
+			Obs: cfg.metrics(),
 		}
 		if v.topo != nil {
 			c.Cost = netsim.NewModel(spec.Net, v.topo)
@@ -137,7 +146,7 @@ func runF22(cfg Config) (Output, error) {
 // everyone, the async chain damps it one compute-time per hop, and the
 // split-phase barrier shaves one overlapped compute off what the victim's
 // delay costs the rest.
-func runF23(cfg Config) (Output, error) {
+func runF23(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, steps := 16, 40
 	if cfg.Quick {
@@ -158,9 +167,13 @@ func runF23(cfg Config) (Output, error) {
 		f.Xs = append(f.Xs, float64(r))
 	}
 	for _, stack := range stacks {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		sc := chaos.NewScenario().Add(chaos.NewSpike(victim, 0, dur))
 		_, _, delta, err := chaos.IdleWaveDelta(spec, chaos.IdleWaveConfig{
 			Ranks: p, Steps: steps, Compute: compute, Words: words, Stack: stack,
+			Obs: cfg.metrics(),
 		}, sc)
 		if err != nil {
 			return Output{}, err
@@ -180,7 +193,7 @@ func runF23(cfg Config) (Output, error) {
 // over-decomposed self-scheduling. Static inherits the full slowdown; the
 // dynamic schedule routes work around the slow rank and degrades only by
 // the lost fraction of one worker.
-func runF24(cfg Config) (Output, error) {
+func runF24(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, tasks := 16, 256
 	if cfg.Quick {
@@ -203,7 +216,7 @@ func runF24(cfg Config) (Output, error) {
 		}
 		var ys []float64
 		for _, factor := range factors {
-			c := chaos.StragglerConfig{Ranks: p, Tasks: tasks, TaskSec: taskSec, Dynamic: dynamic}
+			c := chaos.StragglerConfig{Ranks: p, Tasks: tasks, TaskSec: taskSec, Dynamic: dynamic, Obs: cfg.metrics()}
 			if factor > 1 {
 				c.Chaos = chaos.NewScenario().Add(chaos.NewStraggler(p-1, factor))
 			}
@@ -223,7 +236,7 @@ func runF24(cfg Config) (Output, error) {
 // step pays maximal overhead; checkpointing rarely pays maximal replay; the
 // minimum sits in between (the classic optimal-period U-curve), and the
 // uncheckpointed run replays the whole prefix.
-func runF25(cfg Config) (Output, error) {
+func runF25(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, steps := 8, 48
 	if cfg.Quick {
@@ -241,6 +254,7 @@ func runF25(cfg Config) (Output, error) {
 			Ranks: p, Steps: steps, StepSec: stepSec,
 			Interval: interval, CkptSec: ckptSec,
 			FailStep: fail, FailRank: p / 2, RestartSec: 4 * stepSec,
+			Obs: cfg.metrics(),
 		})
 	}
 	f := report.NewFigure("F25",
@@ -248,6 +262,9 @@ func runF25(cfg Config) (Output, error) {
 			steps, p, p/2, failStep),
 		"checkpoint interval (steps)", "total time (ms)")
 	for _, k := range intervals {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(k))
 	}
 	var withFail, noFail, bare []float64
@@ -256,6 +273,9 @@ func runF25(cfg Config) (Output, error) {
 		return Output{}, err
 	}
 	for _, k := range intervals {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		res, err := run(k, failStep)
 		if err != nil {
 			return Output{}, err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/amdahl"
@@ -15,7 +17,7 @@ import (
 // traffic pattern costs wildly different amounts depending on how well the
 // schedule's rounds match the wires — the keynote's hardware/software
 // co-design point in communication form.
-func runT6(cfg Config) (Output, error) {
+func runT6(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p := 16
 	bytes := float64(64 << 10)
@@ -57,7 +59,7 @@ func runT6(cfg Config) (Output, error) {
 // runF15 schedules four DAG shapes across worker counts and plots achieved
 // speedup against the work/span ceiling: the shape of the task graph, not
 // the machine, bounds what parallelism can possibly buy.
-func runF15(cfg Config) (Output, error) {
+func runF15(ctx context.Context, cfg Config) (Output, error) {
 	ps := []int{1, 2, 4, 8, 16, 32, 64}
 	if cfg.Quick {
 		ps = []int{1, 4, 16}
@@ -100,7 +102,7 @@ func runF15(cfg Config) (Output, error) {
 
 // runF16 plots the analytic speedup laws the W5 experiment instantiates:
 // Amdahl versus Gustafson across serial fractions.
-func runF16(Config) (Output, error) {
+func runF16(context.Context, Config) (Output, error) {
 	ps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	f := report.NewFigure("F16", "speedup laws: Amdahl (fixed size) vs Gustafson (scaled)",
 		"processors", "speedup")
@@ -123,7 +125,7 @@ func runF16(Config) (Output, error) {
 // the latency of a sequential stream but moves every byte anyway, so the
 // energy waste of poor locality survives the hardware fix — W1 must be
 // fixed in software.
-func runF17(cfg Config) (Output, error) {
+func runF17(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	n := uint64(4 << 20)
 	if cfg.Quick {
@@ -169,13 +171,13 @@ func runF17(cfg Config) (Output, error) {
 // interpretation onto the suite: it reports, for the integrated stencil at
 // several scales, the speedup, the Karp–Flatt serial fraction, and whether
 // the fraction grows (overhead-bound) — the measurement-to-model bridge.
-func runT7(cfg Config) (Output, error) {
+func runT7(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	gridN, steps := 1024, 10
 	if cfg.Quick {
 		gridN, steps = 512, 5
 	}
-	base, err := StencilCampaign(spec, 1, gridN, steps, false)
+	base, err := stencilCampaign(cfg.metrics(), spec, 1, gridN, steps, false)
 	if err != nil {
 		return Output{}, err
 	}
@@ -186,7 +188,7 @@ func runT7(cfg Config) (Output, error) {
 	var speedupsRemedied []float64
 	for _, p := range []int{2, 4, 8, 16, 32} {
 		for _, wasteful := range []bool{true, false} {
-			res, err := StencilCampaign(spec, p, gridN, steps, wasteful)
+			res, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, wasteful)
 			if err != nil {
 				return Output{}, err
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/kernels"
@@ -11,7 +13,7 @@ import (
 )
 
 // runF1 sweeps the matmul block size through the cache simulator.
-func runF1(cfg Config) (Output, error) {
+func runF1(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	n := 96
 	blocks := []int{4, 8, 16, 32, 48, 96}
@@ -38,7 +40,7 @@ func runF1(cfg Config) (Output, error) {
 }
 
 // runF2 sweeps the redundant-transfer factor of the halo exchange.
-func runF2(cfg Config) (Output, error) {
+func runF2(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	p, gridN, steps := 16, 1024, 10
 	if cfg.Quick {
@@ -65,7 +67,7 @@ func runF2(cfg Config) (Output, error) {
 }
 
 // runF3 sweeps rank count for global-barrier vs neighbour synchronisation.
-func runF3(cfg Config) (Output, error) {
+func runF3(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	ps := []int{4, 8, 16, 32, 64, 128}
 	if cfg.Quick {
@@ -74,6 +76,9 @@ func runF3(cfg Config) (Output, error) {
 	f := report.NewFigure("F3", "substep sync cost vs ranks", "ranks", "seconds")
 	var global, neighbour []float64
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
 		g, err := waste.OversyncSweep(spec, p, 5, 4, true)
 		if err != nil {
@@ -92,7 +97,7 @@ func runF3(cfg Config) (Output, error) {
 }
 
 // runF4 sweeps the Zipf skew exponent for static vs dynamic scheduling.
-func runF4(cfg Config) (Output, error) {
+func runF4(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	skews := []float64{0, 0.4, 0.8, 1.2, 1.6, 2.0}
 	f := report.NewFigure("F4", "parallel efficiency vs task-cost skew (16 workers)",
@@ -116,7 +121,7 @@ func runF4(cfg Config) (Output, error) {
 }
 
 // runF5 sweeps core count for locked vs sharded updates.
-func runF5(cfg Config) (Output, error) {
+func runF5(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	cores := []int{1, 2, 4, 8, 16, 32}
 	const updates = 1 << 18
@@ -135,7 +140,7 @@ func runF5(cfg Config) (Output, error) {
 }
 
 // runF6 sweeps the compute/communication ratio for blocking vs overlap.
-func runF6(cfg Config) (Output, error) {
+func runF6(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	ratios := []float64{0.25, 0.5, 1, 2, 4}
 	p, steps, words := 8, 20, 4096
@@ -166,7 +171,7 @@ func runF6(cfg Config) (Output, error) {
 }
 
 // runF7 sweeps message size for moving a fixed volume.
-func runF7(cfg Config) (Output, error) {
+func runF7(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	words := 1 << 16
 	msgSizes := []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
@@ -197,7 +202,7 @@ func runF7(cfg Config) (Output, error) {
 }
 
 // runF8 sweeps arithmetic intensity producing every preset's roofline.
-func runF8(Config) (Output, error) {
+func runF8(context.Context, Config) (Output, error) {
 	ais := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4, 8, 16, 32, 64}
 	f := report.NewFigure("F8", "rooflines of all machine presets",
 		"flops/byte", "GF/s")
@@ -213,7 +218,7 @@ func runF8(Config) (Output, error) {
 }
 
 // runF9 sweeps the per-core counter stride through the coherence model.
-func runF9(cfg Config) (Output, error) {
+func runF9(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	strides := []int{8, 16, 32, 64, 128}
 	iters := 2000
@@ -238,7 +243,7 @@ func runF9(cfg Config) (Output, error) {
 }
 
 // runF10 sweeps the idle fraction for spin/block × proportionality.
-func runF10(cfg Config) (Output, error) {
+func runF10(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	prop := spec.WithProportionalPower(0.1)
 	idles := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9}
@@ -261,7 +266,7 @@ func runF10(cfg Config) (Output, error) {
 }
 
 // runF11 strong-scales the integrated stencil: fixed 2048² grid.
-func runF11(cfg Config) (Output, error) {
+func runF11(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	gridN, steps := 2048, 10
 	ps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
@@ -276,11 +281,11 @@ func runF11(cfg Config) (Output, error) {
 	var t1 float64
 	for i, p := range ps {
 		f.Xs = append(f.Xs, float64(p))
-		w, err := StencilCampaign(spec, p, gridN, steps, true)
+		w, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, true)
 		if err != nil {
 			return Output{}, err
 		}
-		r, err := StencilCampaign(spec, p, gridN, steps, false)
+		r, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, false)
 		if err != nil {
 			return Output{}, err
 		}
@@ -298,7 +303,7 @@ func runF11(cfg Config) (Output, error) {
 }
 
 // runF12 weak-scales the integrated stencil: 64 rows per rank.
-func runF12(cfg Config) (Output, error) {
+func runF12(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	rowsPerRank, steps := 64, 10
 	ps := []int{1, 2, 4, 8, 16, 32, 64, 128}
@@ -311,13 +316,16 @@ func runF12(cfg Config) (Output, error) {
 		"ranks", "seconds")
 	var wasteful, remedied []float64
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
 		gridN := rowsPerRank * p
-		w, err := StencilCampaign(spec, p, gridN, steps, true)
+		w, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, true)
 		if err != nil {
 			return Output{}, err
 		}
-		r, err := StencilCampaign(spec, p, gridN, steps, false)
+		r, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, false)
 		if err != nil {
 			return Output{}, err
 		}
@@ -330,7 +338,7 @@ func runF12(cfg Config) (Output, error) {
 }
 
 // runF13 sweeps the 2.5D replication factor.
-func runF13(cfg Config) (Output, error) {
+func runF13(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	const n, p = 8192, 4096
 	cs := []int{1, 2, 4, 8, 16}
@@ -352,7 +360,7 @@ func runF13(cfg Config) (Output, error) {
 }
 
 // runF14 sweeps rank count for the three allreduce algorithms.
-func runF14(cfg Config) (Output, error) {
+func runF14(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	ps := []int{2, 4, 8, 16, 32, 64, 128, 256}
 	words := 4096
@@ -365,9 +373,12 @@ func runF14(cfg Config) (Output, error) {
 		"ranks", "seconds")
 	var flat, rd, ring []float64
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
 		for _, alg := range []string{"flat", "rdouble", "ring"} {
-			secs, err := allreduceTime(spec, p, words, alg)
+			secs, err := allreduceTime(cfg.metrics(), spec, p, words, alg)
 			if err != nil {
 				return Output{}, err
 			}

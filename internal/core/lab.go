@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"tenways/internal/chaos"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/report"
 )
 
@@ -21,6 +23,11 @@ type Config struct {
 	// chaos.DefaultSeed. Two runs at the same seed produce identical
 	// tables.
 	Seed uint64
+	// Obs receives the run's subsystem metrics (sim events, collective
+	// bytes, scheduler steals, ...). nil selects the process-wide default
+	// registry; RunAll gives every experiment its own so per-experiment
+	// snapshots stay attributable under parallel execution.
+	Obs *obs.Registry
 }
 
 func (c Config) machine() *machine.Spec {
@@ -37,16 +44,30 @@ func (c Config) seed() uint64 {
 	return chaos.DefaultSeed
 }
 
+// metrics returns the registry experiment code should record into.
+func (c Config) metrics() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
+}
+
 // Output is what an experiment produces: a table, a figure, or both.
 type Output struct {
 	Table  *report.Table
 	Figure *report.Figure
 }
 
-// Render writes the output for terminals.
+// Render writes the output for terminals (the ASCII renderer).
 func (o Output) Render(w io.Writer) error {
+	return o.RenderWith(w, report.ASCII{})
+}
+
+// RenderWith writes the output through the given renderer: the table
+// first, then the figure, separated by a blank line.
+func (o Output) RenderWith(w io.Writer, r report.Renderer) error {
 	if o.Table != nil {
-		if err := o.Table.WriteASCII(w); err != nil {
+		if err := r.Table(w, o.Table); err != nil {
 			return err
 		}
 	}
@@ -54,7 +75,7 @@ func (o Output) Render(w io.Writer) error {
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
-		if err := o.Figure.Table().WriteASCII(w); err != nil {
+		if err := r.Figure(w, o.Figure); err != nil {
 			return err
 		}
 	}
@@ -63,9 +84,14 @@ func (o Output) Render(w io.Writer) error {
 
 // Experiment regenerates one table or figure of the evaluation suite.
 type Experiment struct {
-	ID    string // "T1".."T8", "F1".."F25"
+	ID    string // "T1".."T10", "F1".."F27"
 	Title string
-	Run   func(cfg Config) (Output, error)
+	// Measured marks experiments whose cells come from host wall-clock
+	// measurement (T10, F27) rather than the deterministic simulation:
+	// their numbers legitimately vary between runs, so byte-identity
+	// checks and reproducibility tests must skip them.
+	Measured bool
+	Run      func(ctx context.Context, cfg Config) (Output, error)
 }
 
 // Lab is the experiment registry.
@@ -121,13 +147,19 @@ func (l *Lab) Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q (known: %v)", id, known)
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID under a background
+// context. Use RunContext to bound or cancel the run.
 func (l *Lab) Run(id string, cfg Config) (Output, error) {
+	return l.RunContext(context.Background(), id, cfg)
+}
+
+// RunContext executes the experiment with the given ID under ctx.
+func (l *Lab) RunContext(ctx context.Context, id string, cfg Config) (Output, error) {
 	e, err := l.Get(id)
 	if err != nil {
 		return Output{}, err
 	}
-	return e.Run(cfg)
+	return e.Run(ctx, cfg)
 }
 
 func allExperiments() []Experiment {
@@ -167,5 +199,7 @@ func allExperiments() []Experiment {
 		{ID: "F25", Title: "Checkpoint/replay under rank failure: interval trade-off", Run: runF25},
 		{ID: "T9", Title: "Autotuned remedy parameters: tuned vs default vs oracle", Run: runT9},
 		{ID: "F26", Title: "Tuner convergence: best-so-far cost vs evaluations", Run: runF26},
+		{ID: "T10", Title: "Lab self-profile: per-experiment work metrics", Run: runT10, Measured: true},
+		{ID: "F27", Title: "Parallel runner speedup vs worker count", Run: runF27, Measured: true},
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tenways/internal/energy"
 	"tenways/internal/mem"
 	"tenways/internal/report"
@@ -64,7 +66,7 @@ func numaStream(cfg Config, remoteFactor float64, placement mem.Placement, seria
 // serial-init pathology is out of scope, as DESIGN.md notes — so the
 // figure's claim is first-touch-parallel strictly wins and the gap scales
 // with the remote factor.
-func runF20(cfg Config) (Output, error) {
+func runF20(ctx context.Context, cfg Config) (Output, error) {
 	factors := []float64{1, 1.5, 2, 3, 4}
 	// The buffer must exceed the machine's LLC so the measured compute
 	// phase streams from (possibly remote) DRAM rather than from cache.

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderAll renders every non-Measured result keyed by ID — the byte-level
+// fingerprint parallel runs must reproduce. Measured experiments (T10,
+// F27) report host wall time, so their cells legitimately differ.
+func renderAll(t *testing.T, results []RunResult) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if r.Measured {
+			continue
+		}
+		var sb strings.Builder
+		if err := r.Output.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out[r.ID] = sb.String()
+	}
+	return out
+}
+
+// TestRunAllParallelMatchesSerial is the suite's parallelism proof: eight
+// workers over the full suite must produce byte-identical tables to the
+// serial run. Run under -race this also exercises every experiment's
+// shared-state discipline.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison is not -short material")
+	}
+	l := NewLab()
+	cfg := Config{Quick: true}
+	serial, err := l.RunAll(context.Background(), cfg, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := l.RunAll(context.Background(), cfg, RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, serial)
+	got := renderAll(t, parallel)
+	if len(got) != len(want) {
+		t.Fatalf("parallel rendered %d experiments, serial %d", len(got), len(want))
+	}
+	for id, s := range want {
+		if got[id] != s {
+			t.Errorf("%s differs between serial and 8-worker runs:\nserial:\n%s\nparallel:\n%s", id, s, got[id])
+		}
+	}
+	// Results must come back in registration order regardless of the
+	// completion order, and every run must carry metrics.
+	ids := l.IDs()
+	for i, r := range parallel {
+		if r.ID != ids[i] {
+			t.Fatalf("results[%d] = %s, want %s", i, r.ID, ids[i])
+		}
+		if r.Metrics.Empty() {
+			t.Errorf("%s: empty metrics snapshot", r.ID)
+		}
+		if r.Metrics.Counter("lab.runs") != 1 {
+			t.Errorf("%s: lab.runs = %d, want 1", r.ID, r.Metrics.Counter("lab.runs"))
+		}
+	}
+}
+
+func TestRunAllSubsetAndOrder(t *testing.T) {
+	l := NewLab()
+	ids := []string{"F3", "T1", "T4"}
+	results, err := l.RunAll(context.Background(), Config{Quick: true}, RunOptions{Workers: 2, IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Fatalf("results[%d] = %s, want %s (IDs order must be preserved)", i, r.ID, ids[i])
+		}
+		if r.Wall <= 0 {
+			t.Errorf("%s: non-positive wall time", r.ID)
+		}
+	}
+	if _, err := l.RunAll(context.Background(), Config{Quick: true}, RunOptions{IDs: []string{"nope"}}); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestRunAllOnResultStreamsInOrder(t *testing.T) {
+	l := NewLab()
+	ids := []string{"T4", "T1", "F16"}
+	var mu sync.Mutex
+	var seen []string
+	_, err := l.RunAll(context.Background(), Config{Quick: true}, RunOptions{
+		Workers: 3,
+		IDs:     ids,
+		OnResult: func(r RunResult) {
+			mu.Lock()
+			seen = append(seen, r.ID)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(seen, ",") != strings.Join(ids, ",") {
+		t.Fatalf("OnResult order = %v, want %v", seen, ids)
+	}
+}
+
+// TestRunAllFailSoft registers a panicking and a failing experiment in a
+// private lab and checks the rest of the suite still completes.
+func TestRunAllFailSoft(t *testing.T) {
+	l := &Lab{byID: make(map[string]Experiment)}
+	l.register(Experiment{ID: "OK", Title: "fine", Run: runT1})
+	l.register(Experiment{ID: "BOOM", Title: "panics", Run: func(context.Context, Config) (Output, error) {
+		panic("kaboom")
+	}})
+	l.register(Experiment{ID: "OK2", Title: "also fine", Run: runT2})
+	results, err := l.RunAll(context.Background(), Config{Quick: true}, RunOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	if !strings.Contains(err.Error(), "BOOM") || strings.Contains(err.Error(), "OK2") {
+		t.Fatalf("aggregate error should name only the failed id: %v", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy experiments failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", results[1].Err)
+	}
+	if results[1].Metrics.Counter("lab.failures") != 1 {
+		t.Fatal("failure not counted in the experiment's metrics")
+	}
+}
+
+func TestRunAllCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := NewLab().RunAll(ctx, Config{Quick: true}, RunOptions{Workers: 4, IDs: []string{"T1", "T2", "T3"}})
+	if err == nil {
+		t.Fatal("expected aggregate error under a cancelled context")
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("%s ran under a cancelled context", r.ID)
+		}
+	}
+}
+
+func TestLabReportRoundTrip(t *testing.T) {
+	l := NewLab()
+	cfg := Config{Quick: true}
+	results, err := l.RunAll(context.Background(), cfg, RunOptions{Workers: 2, IDs: []string{"T1", "F16"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewLabReport(cfg, 2, results)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LabReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != cfg.machine().Name || back.Workers != 2 || len(back.Results) != 2 {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	for i, rec := range back.Results {
+		if rec.ID != results[i].ID {
+			t.Fatalf("record %d id = %s, want %s", i, rec.ID, results[i].ID)
+		}
+		if rec.WallMS <= 0 {
+			t.Fatalf("%s: wall_ms = %g", rec.ID, rec.WallMS)
+		}
+		if rec.Metrics.Counter("lab.runs") != 1 {
+			t.Fatalf("%s: metrics lost in round trip", rec.ID)
+		}
+	}
+	if rt := back.Results[0].Table; rt == nil || len(rt.Rows) == 0 {
+		t.Fatal("T1 table lost in round trip")
+	}
+	if fg := back.Results[1].Figure; fg == nil || len(fg.Series) == 0 {
+		t.Fatal("F16 figure lost in round trip")
+	}
+	if ids := back.FailedIDs(); len(ids) != 0 {
+		t.Fatalf("unexpected failures: %v", ids)
+	}
+}

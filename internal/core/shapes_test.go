@@ -7,10 +7,13 @@ package core
 // and are skipped in -short mode.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"testing"
+
+	"tenways/internal/obs"
 )
 
 func fmtSscan(s string, f *float64) (int, error) { return fmt.Sscan(s, f) }
@@ -456,5 +459,46 @@ func TestShapeT8BlockingAmplifiesNoise(t *testing.T) {
 	}
 	if rows == 0 {
 		t.Fatal("no jitter rows found in T8")
+	}
+}
+
+// TestShapeT10WorkAttribution asserts the claims EXPERIMENTS.md makes about
+// the lab self-profile: the collective sweep dominates wire traffic, the
+// analytic experiments perform no simulator work, only the chaos
+// experiments inject noise, and only the tuner experiment evaluates.
+// Quick mode suffices — the attribution pattern is scale-independent.
+func TestShapeT10WorkAttribution(t *testing.T) {
+	results, err := NewLab().RunAll(context.Background(), Config{Quick: true},
+		RunOptions{Workers: 2, IDs: profileIDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]obs.Snapshot{}
+	for _, r := range results {
+		m[r.ID] = r.Metrics
+	}
+	for _, id := range profileIDs {
+		if id == "T3" {
+			continue
+		}
+		if m["T3"].Counter("pgas.bytes_sent") < 10*m[id].Counter("pgas.bytes_sent") {
+			t.Errorf("T3 should dominate wire bytes: T3=%d, %s=%d",
+				m["T3"].Counter("pgas.bytes_sent"), id, m[id].Counter("pgas.bytes_sent"))
+		}
+	}
+	for _, id := range []string{"F3", "F26"} {
+		if n := m[id].Counter("sim.events"); n != 0 {
+			t.Errorf("%s is analytic but performed %d sim events", id, n)
+		}
+	}
+	for _, id := range profileIDs {
+		inj := m[id].Counter("chaos.injections")
+		if chaotic := id == "F23" || id == "F24"; chaotic != (inj > 0) {
+			t.Errorf("%s: chaos.injections = %d", id, inj)
+		}
+		evals := m[id].Counter("tune.evaluations")
+		if (id == "F26") != (evals > 0) {
+			t.Errorf("%s: tune.evaluations = %d", id, evals)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +10,7 @@ import (
 	"tenways/internal/collective"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/report"
 	"tenways/internal/workload"
@@ -41,7 +44,12 @@ func (r SortResult) KeysPerJoule() float64 {
 // remedied stack uses the binomial broadcast, bulk exchange, and no extra
 // barriers.
 func SortCampaign(spec *machine.Spec, p, perRank int, wasteful bool) (SortResult, error) {
+	return sortCampaign(obs.Default(), spec, p, perRank, wasteful)
+}
+
+func sortCampaign(reg *obs.Registry, spec *machine.Spec, p, perRank int, wasteful bool) (SortResult, error) {
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	var firstErr error
 	results := make([][]float64, p)
 	makespan, err := w.Run(func(r *pgas.Rank) {
@@ -132,7 +140,7 @@ func SortCampaign(spec *machine.Spec, p, perRank int, wasteful bool) (SortResult
 
 // runF18 sweeps rank count for the distributed sort, wasteful versus
 // remedied stack.
-func runF18(cfg Config) (Output, error) {
+func runF18(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	perRank := 2048
 	ps := []int{2, 4, 8, 16, 32}
@@ -144,15 +152,21 @@ func runF18(cfg Config) (Output, error) {
 		fmt.Sprintf("distributed sample sort of %d keys/rank vs ranks", perRank),
 		"ranks", "seconds / keys-per-joule")
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		f.Xs = append(f.Xs, float64(p))
 	}
 	var wasteful, remedied, keysJW, keysJR []float64
 	for _, p := range ps {
-		wres, err := SortCampaign(spec, p, perRank, true)
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
+		wres, err := sortCampaign(cfg.metrics(), spec, p, perRank, true)
 		if err != nil {
 			return Output{}, err
 		}
-		rres, err := SortCampaign(spec, p, perRank, false)
+		rres, err := sortCampaign(cfg.metrics(), spec, p, perRank, false)
 		if err != nil {
 			return Output{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"tenways/internal/collective"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 )
 
@@ -37,6 +38,10 @@ func (r StencilResult) StepsPerJoule() float64 {
 // This is the integrated experiment behind T5, F11 and F12: individual
 // wastes compound, so the stacks separate far more than any single mode.
 func StencilCampaign(spec *machine.Spec, p, gridN, steps int, wasteful bool) (StencilResult, error) {
+	return stencilCampaign(obs.Default(), spec, p, gridN, steps, wasteful)
+}
+
+func stencilCampaign(reg *obs.Registry, spec *machine.Spec, p, gridN, steps int, wasteful bool) (StencilResult, error) {
 	hm := kernels.HaloModel{N: gridN, P: p}
 	words := hm.HaloWords() / 2
 	if wasteful {
@@ -46,6 +51,7 @@ func StencilCampaign(spec *machine.Spec, p, gridN, steps int, wasteful bool) (St
 		words = 1
 	}
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	w.Alloc("halo", 2*words)
 	buf := make([]float64, words)
 	makespan, err := w.Run(func(r *pgas.Rank) {

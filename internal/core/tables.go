@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/collective"
 	"tenways/internal/energy"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
 	"tenways/internal/report"
 	"tenways/internal/roofline"
@@ -15,7 +18,7 @@ import (
 
 // runT1 regenerates the headline table: every waste mode's time and energy
 // factor on the configured machine.
-func runT1(cfg Config) (Output, error) {
+func runT1(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	t := report.NewTable("T1",
 		fmt.Sprintf("the ten ways on %s: wasteful vs remedied", spec.Name),
@@ -39,7 +42,7 @@ func runT1(cfg Config) (Output, error) {
 }
 
 // runT2 regenerates the machine-balance table for all presets.
-func runT2(Config) (Output, error) {
+func runT2(context.Context, Config) (Output, error) {
 	t := report.NewTable("T2", "machine balance across presets",
 		"machine", "nodes", "cores/node", "GF/s node", "DRAM GB/s", "bytes/flop",
 		"ridge AI", "pJ/flop", "DRAM pJ/B", "idle/busy", "alpha", "n1/2")
@@ -63,16 +66,18 @@ func runT2(Config) (Output, error) {
 }
 
 // barrierTime runs one barrier collective on p simulated ranks.
-func barrierTime(spec *machine.Spec, p int, bar func(*collective.Comm)) (float64, error) {
+func barrierTime(reg *obs.Registry, spec *machine.Spec, p int, bar func(*collective.Comm)) (float64, error) {
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	return w.Run(func(r *pgas.Rank) { bar(collective.New(r)) })
 }
 
 // allreduceTime runs one allreduce of m words on p simulated ranks,
 // dispatching the algorithm by name through the same table the T3 tunable
 // searches.
-func allreduceTime(spec *machine.Spec, p, m int, alg string) (float64, error) {
+func allreduceTime(reg *obs.Registry, spec *machine.Spec, p, m int, alg string) (float64, error) {
 	w := pgas.NewWorld(p, spec, nil, nil)
+	w.SetObs(reg)
 	x := make([]float64, m)
 	var innerErr error
 	end, err := w.Run(func(r *pgas.Rank) {
@@ -88,7 +93,7 @@ func allreduceTime(spec *machine.Spec, p, m int, alg string) (float64, error) {
 }
 
 // runT3 regenerates the collective-algorithm comparison.
-func runT3(cfg Config) (Output, error) {
+func runT3(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	ps := []int{4, 16, 64, 256}
 	if cfg.Quick {
@@ -112,7 +117,7 @@ func runT3(cfg Config) (Output, error) {
 	for _, b := range barriers {
 		row := []string{b.name}
 		for _, p := range ps {
-			secs, err := barrierTime(spec, p, b.fn)
+			secs, err := barrierTime(cfg.metrics(), spec, p, b.fn)
 			if err != nil {
 				return Output{}, err
 			}
@@ -127,7 +132,7 @@ func runT3(cfg Config) (Output, error) {
 		for _, alg := range []string{"flat", "rdouble", "ring"} {
 			row := []string{fmt.Sprintf("%s %s", size.label, alg)}
 			for _, p := range ps {
-				secs, err := allreduceTime(spec, p, size.words, alg)
+				secs, err := allreduceTime(cfg.metrics(), spec, p, size.words, alg)
 				if err != nil {
 					return Output{}, err
 				}
@@ -164,7 +169,7 @@ func kernelIntensities() []struct {
 func firstOf(a, _ float64) float64 { return a }
 
 // runT4 regenerates the kernel roofline table.
-func runT4(cfg Config) (Output, error) {
+func runT4(ctx context.Context, cfg Config) (Output, error) {
 	spec := cfg.machine()
 	t := report.NewTable("T4",
 		fmt.Sprintf("kernel arithmetic intensity and roofline bound on %s (ridge %.2f flops/byte)",
@@ -185,7 +190,7 @@ func runT4(cfg Config) (Output, error) {
 
 // runT5 regenerates the science-per-joule table: the integrated stencil on
 // every machine preset, wasteful stack versus remedied stack.
-func runT5(cfg Config) (Output, error) {
+func runT5(ctx context.Context, cfg Config) (Output, error) {
 	p, gridN, steps := 32, 2048, 10
 	if cfg.Quick {
 		p, gridN, steps = 8, 512, 5
@@ -194,11 +199,11 @@ func runT5(cfg Config) (Output, error) {
 		fmt.Sprintf("stencil science per joule (%d ranks, %d^2 grid, %d steps)", p, gridN, steps),
 		"machine", "stack", "time", "energy", "EDP", "steps/J", "improvement")
 	for _, spec := range machine.Presets() {
-		w, err := StencilCampaign(spec, p, gridN, steps, true)
+		w, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, true)
 		if err != nil {
 			return Output{}, err
 		}
-		r, err := StencilCampaign(spec, p, gridN, steps, false)
+		r, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, false)
 		if err != nil {
 			return Output{}, err
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 
 	"tenways/internal/machine"
@@ -18,23 +20,26 @@ import (
 // at the exhaustive-grid oracle. The tuned column never loses to the
 // default (the default is seeded into every search) and should sit within
 // a few percent of the oracle at a fraction of its evaluations.
-func runT9(cfg Config) (Output, error) {
+func runT9(ctx context.Context, cfg Config) (Output, error) {
 	machines := tableMachines(cfg)
 	tbl := report.NewTable("T9",
 		"autotuned remedy parameters: modeled cost at default vs tuned vs exhaustive oracle",
 		"tunable", "machine", "default", "tuned", "default cost", "tuned cost", "oracle cost", "evals", "saving")
 	cache := tune.NewCache()
 	for _, tn := range tune.Tunables(cfg.Quick) {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		for _, m := range machines {
 			def, err := tn.Objective(m)(tn.Default)
 			if err != nil {
 				return Output{}, err
 			}
-			tuned, err := tn.Tune(m, tune.Options{Cache: cache})
+			tuned, err := tn.Tune(m, tune.Options{Cache: cache, Obs: cfg.metrics()})
 			if err != nil {
 				return Output{}, err
 			}
-			oracle, err := tn.Tune(m, tune.Options{Strategy: tune.Grid{}, Cache: cache})
+			oracle, err := tn.Tune(m, tune.Options{Strategy: tune.Grid{}, Cache: cache, Obs: cfg.metrics()})
 			if err != nil {
 				return Output{}, err
 			}
@@ -67,7 +72,7 @@ func tableMachines(cfg Config) []*machine.Spec {
 // largest single-axis space): best-so-far modeled cost against evaluation
 // count, one series per strategy. Golden-section reaches the grid's floor
 // in O(log range) evaluations; hill climbing sits in between.
-func runF26(cfg Config) (Output, error) {
+func runF26(ctx context.Context, cfg Config) (Output, error) {
 	m := cfg.machine()
 	tn, err := tune.ByID("F25-interval", cfg.Quick)
 	if err != nil {
@@ -80,8 +85,11 @@ func runF26(cfg Config) (Output, error) {
 	var curves [][]float64
 	maxLen := 0
 	for _, s := range strategies {
+		if err := ctx.Err(); err != nil {
+			return Output{}, err
+		}
 		// Fresh cache per strategy: each pays for its own evaluations.
-		res, err := tn.Tune(m, tune.Options{Strategy: s, Cache: tune.NewCache()})
+		res, err := tn.Tune(m, tune.Options{Strategy: s, Cache: tune.NewCache(), Obs: cfg.metrics()})
 		if err != nil {
 			return Output{}, err
 		}

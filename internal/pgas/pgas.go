@@ -22,6 +22,7 @@ import (
 
 	"tenways/internal/energy"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/sim"
 )
 
@@ -92,6 +93,7 @@ type World struct {
 	rankSent []int64 // bytes sent per rank
 	stats    Stats
 	perturb  Perturber
+	obs      *obs.Registry
 }
 
 type flagVar struct {
@@ -128,7 +130,9 @@ func NewWorld(n int, spec *machine.Spec, cost CostModel, meter *energy.Meter) *W
 		rxFree:   make([]float64, n),
 		attr:     make([]attrLedger, n),
 		rankSent: make([]int64, n),
+		obs:      obs.Default(),
 	}
+	w.k.SetMetrics(w.obs)
 	for i := range w.flags {
 		w.flags[i] = make(map[string]*flagVar)
 		w.boxes[i] = make(map[string]*mailbox)
@@ -155,6 +159,22 @@ func (w *World) Meter() *energy.Meter { return w.meter }
 // SetPerturber arms the world with a delay injector (nil disarms). Call
 // before Run; the chaos package's Scenario.Arm does this.
 func (w *World) SetPerturber(p Perturber) { w.perturb = p }
+
+// SetObs redirects the world's metrics — the sim kernel's event-loop
+// counters and the world's message stats — to the given registry. Worlds
+// default to obs.Default(); the lab runner injects a per-experiment
+// registry so concurrent experiments never mix their metrics. Call before
+// Run; nil restores the default.
+func (w *World) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	w.obs = reg
+	w.k.SetMetrics(reg)
+}
+
+// Obs returns the registry this world records into (never nil).
+func (w *World) Obs() *obs.Registry { return w.obs }
 
 // Now returns the current virtual time in seconds. Useful to time-gated
 // cost-model wrappers (link faults) that need the clock of the world they
@@ -210,6 +230,9 @@ func (w *World) Run(body func(r *Rank)) (float64, error) {
 	end, err := w.k.Run(w.N, func(p *sim.Proc) {
 		body(&Rank{w: w, p: p})
 	})
+	st := w.Stats()
+	w.obs.Counter("pgas.messages").Add(st.Messages)
+	w.obs.Counter("pgas.bytes_sent").Add(st.BytesSent)
 	if err != nil {
 		return end, err
 	}

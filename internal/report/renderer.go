@@ -1,0 +1,219 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Renderer writes tables and figures in one output format. The four
+// built-in renderers — ASCII, Markdown, CSV, JSON — cover the terminal,
+// EXPERIMENTS.md, plotting pipelines, and machine consumers; callers pick
+// one with RendererByName and hand it to core.Output.RenderWith.
+type Renderer interface {
+	Table(w io.Writer, t *Table) error
+	Figure(w io.Writer, f *Figure) error
+}
+
+// RendererByName returns the renderer for a format name: "ascii" (alias
+// "text"), "markdown" (alias "md"), "csv", or "json".
+func RendererByName(name string) (Renderer, error) {
+	switch strings.ToLower(name) {
+	case "ascii", "text", "":
+		return ASCII{}, nil
+	case "markdown", "md":
+		return Markdown{}, nil
+	case "csv":
+		return CSV{}, nil
+	case "json":
+		return JSON{}, nil
+	}
+	return nil, fmt.Errorf("report: unknown format %q (known: %s)",
+		name, strings.Join(Formats(), ", "))
+}
+
+// Formats lists the selectable renderer names in canonical order.
+func Formats() []string { return []string{"ascii", "markdown", "csv", "json"} }
+
+// ASCII renders aligned monospace tables for terminals; figures render as
+// their table view.
+type ASCII struct{}
+
+// Table implements Renderer.
+func (ASCII) Table(w io.Writer, t *Table) error {
+	cols := t.NumCols()
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	writeRow := func(row []string) error {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure implements Renderer.
+func (ASCII) Figure(w io.Writer, f *Figure) error {
+	return ASCII{}.Table(w, f.Table())
+}
+
+// Markdown renders GitHub-flavoured markdown tables; figures render as
+// their table view.
+type Markdown struct{}
+
+// Table implements Renderer.
+func (Markdown) Table(w io.Writer, t *Table) error {
+	cols := t.NumCols()
+	if _, err := fmt.Fprintf(w, "**%s: %s**\n\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	row := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString(" " + c + " |")
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := row(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = "---"
+	}
+	if err := row(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure implements Renderer.
+func (Markdown) Figure(w io.Writer, f *Figure) error {
+	return Markdown{}.Table(w, f.Table())
+}
+
+// CSV renders comma-separated rows: figures in the suite's established
+// figure-CSV format (comment header, one column per series), tables with a
+// matching comment header and properly quoted cells.
+type CSV struct{}
+
+// Table implements Renderer.
+func (CSV) Table(w io.Writer, t *Table) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	cols := t.NumCols()
+	for _, r := range t.Rows {
+		row := make([]string, cols)
+		copy(row, r)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure implements Renderer. The format matches the historical
+// Figure.WriteCSV output byte for byte, so plotting pipelines keep working.
+func (CSV) Figure(w io.Writer, f *Figure) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s (x=%s, y=%s)\n", f.ID, f.Caption, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	head := []string{f.XLabel}
+	for _, s := range f.Series {
+		head = append(head, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
+		return err
+	}
+	for i, x := range f.Xs {
+		cells := []string{FormatG(x)}
+		for _, s := range f.Series {
+			if i < len(s.Ys) {
+				cells = append(cells, FormatG(s.Ys[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON renders tables and figures as single indented JSON documents
+// followed by a newline, with deterministic key order.
+type JSON struct{}
+
+// Table implements Renderer.
+func (JSON) Table(w io.Writer, t *Table) error { return writeJSON(w, t) }
+
+// Figure implements Renderer.
+func (JSON) Figure(w io.Writer, f *Figure) error { return writeJSON(w, f) }
+
+func writeJSON(w io.Writer, v interface{}) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}

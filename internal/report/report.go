@@ -15,10 +15,10 @@ import (
 // already-formatted cells. Build rows with AddRow and format cells with the
 // helpers in this package so numeric styles stay uniform across experiments.
 type Table struct {
-	ID      string // experiment id, e.g. "T1"
-	Caption string
-	Headers []string
-	Rows    [][]string
+	ID      string     `json:"id"` // experiment id, e.g. "T1"
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates an empty table with the given identity and column headers.
@@ -43,93 +43,13 @@ func (t *Table) NumCols() int {
 	return n
 }
 
-// WriteASCII renders the table with aligned columns to w.
-func (t *Table) WriteASCII(w io.Writer) error {
-	cols := t.NumCols()
-	widths := make([]int, cols)
-	measure := func(row []string) {
-		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	measure(t.Headers)
-	for _, r := range t.Rows {
-		measure(r)
-	}
-	if _, err := fmt.Fprintf(w, "%s: %s\n", t.ID, t.Caption); err != nil {
-		return err
-	}
-	writeRow := func(row []string) error {
-		var b strings.Builder
-		for i := 0; i < cols; i++ {
-			c := ""
-			if i < len(row) {
-				c = row[i]
-			}
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(pad(c, widths[i]))
-		}
-		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
-		return err
-	}
-	if err := writeRow(t.Headers); err != nil {
-		return err
-	}
-	rule := make([]string, cols)
-	for i := range rule {
-		rule[i] = strings.Repeat("-", widths[i])
-	}
-	if err := writeRow(rule); err != nil {
-		return err
-	}
-	for _, r := range t.Rows {
-		if err := writeRow(r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// WriteASCII renders the table with aligned columns to w (the ASCII
+// renderer).
+func (t *Table) WriteASCII(w io.Writer) error { return ASCII{}.Table(w, t) }
 
-// WriteMarkdown renders the table as a GitHub-flavoured markdown table.
-func (t *Table) WriteMarkdown(w io.Writer) error {
-	cols := t.NumCols()
-	if _, err := fmt.Fprintf(w, "**%s: %s**\n\n", t.ID, t.Caption); err != nil {
-		return err
-	}
-	row := func(cells []string) error {
-		var b strings.Builder
-		b.WriteString("|")
-		for i := 0; i < cols; i++ {
-			c := ""
-			if i < len(cells) {
-				c = cells[i]
-			}
-			b.WriteString(" " + c + " |")
-		}
-		_, err := fmt.Fprintln(w, b.String())
-		return err
-	}
-	if err := row(t.Headers); err != nil {
-		return err
-	}
-	rule := make([]string, cols)
-	for i := range rule {
-		rule[i] = "---"
-	}
-	if err := row(rule); err != nil {
-		return err
-	}
-	for _, r := range t.Rows {
-		if err := row(r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// WriteMarkdown renders the table as a GitHub-flavoured markdown table
+// (the Markdown renderer).
+func (t *Table) WriteMarkdown(w io.Writer) error { return Markdown{}.Table(w, t) }
 
 // String renders the ASCII form.
 func (t *Table) String() string {
@@ -147,20 +67,20 @@ func pad(s string, w int) string {
 
 // Series is one named line of a figure: y sampled at the figure's xs.
 type Series struct {
-	Name string
-	Ys   []float64
+	Name string    `json:"name"`
+	Ys   []float64 `json:"ys"`
 }
 
 // Figure is a set of series over a common x axis, the unit a paper figure
 // would plot. It renders as CSV (one column per series) and as an ASCII
 // table for terminals.
 type Figure struct {
-	ID      string
-	Caption string
-	XLabel  string
-	YLabel  string
-	Xs      []float64
-	Series  []Series
+	ID      string    `json:"id"`
+	Caption string    `json:"caption"`
+	XLabel  string    `json:"xlabel"`
+	YLabel  string    `json:"ylabel"`
+	Xs      []float64 `json:"xs"`
+	Series  []Series  `json:"series"`
 }
 
 // NewFigure creates an empty figure.
@@ -174,34 +94,9 @@ func (f *Figure) AddSeries(name string, ys []float64) {
 	f.Series = append(f.Series, Series{Name: name, Ys: ys})
 }
 
-// WriteCSV emits "x,<series...>" rows, preceded by a comment header carrying
-// the figure identity and axis labels.
-func (f *Figure) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# %s: %s (x=%s, y=%s)\n", f.ID, f.Caption, f.XLabel, f.YLabel); err != nil {
-		return err
-	}
-	head := []string{f.XLabel}
-	for _, s := range f.Series {
-		head = append(head, s.Name)
-	}
-	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
-		return err
-	}
-	for i, x := range f.Xs {
-		cells := []string{FormatG(x)}
-		for _, s := range f.Series {
-			if i < len(s.Ys) {
-				cells = append(cells, FormatG(s.Ys[i]))
-			} else {
-				cells = append(cells, "")
-			}
-		}
-		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// WriteCSV emits "x,<series...>" rows, preceded by a comment header
+// carrying the figure identity and axis labels (the CSV renderer).
+func (f *Figure) WriteCSV(w io.Writer) error { return CSV{}.Figure(w, f) }
 
 // Table converts the figure to an ASCII table view for terminal output.
 func (f *Figure) Table() *Table {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tenways/internal/obs"
 	"tenways/internal/trace"
 )
 
@@ -14,6 +15,7 @@ import (
 type Pool struct {
 	workers int
 	rec     *trace.Recorder
+	obs     *obs.Registry
 }
 
 // NewPool creates a pool of the given width (minimum 1). rec may be nil.
@@ -21,7 +23,18 @@ func NewPool(workers int, rec *trace.Recorder) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pool{workers: workers, rec: rec}
+	return &Pool{workers: workers, rec: rec, obs: obs.Default()}
+}
+
+// SetObs redirects the pool's scheduling metrics (sched.grabs,
+// sched.steals, sched.idle_seconds) to the given registry; nil restores
+// the process-wide default.
+func (p *Pool) SetObs(reg *obs.Registry) *Pool {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	p.obs = reg
+	return p
 }
 
 // Workers returns the pool width.
@@ -76,9 +89,11 @@ func (p *Pool) chargeImbalanceIdle() {
 			max = busy
 		}
 	}
+	idle := p.obs.Gauge("sched.idle_seconds")
 	for w, wt := range b.PerWorker {
 		if gap := max - wt.Busy() - wt.ByCategory[trace.Idle]; gap > 0 {
 			p.rec.Add(w, trace.Idle, gap)
+			idle.Add(gap.Seconds())
 		}
 	}
 }
@@ -89,6 +104,7 @@ func (p *Pool) ForEachChunked(n, chunk int, body func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	grabs := p.obs.Counter("sched.grabs")
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
@@ -101,6 +117,7 @@ func (p *Pool) ForEachChunked(n, chunk int, body func(i int)) {
 				if lo >= n {
 					break
 				}
+				grabs.Inc()
 				hi := lo + chunk
 				if hi > n {
 					hi = n
@@ -122,6 +139,7 @@ func (p *Pool) ForEachGuided(n, minChunk int, body func(i int)) {
 	if minChunk < 1 {
 		minChunk = 1
 	}
+	grabs := p.obs.Counter("sched.grabs")
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
@@ -142,6 +160,7 @@ func (p *Pool) ForEachGuided(n, minChunk int, body func(i int)) {
 				if !atomic.CompareAndSwapInt64(&next, cur, cur+int64(chunk)) {
 					continue
 				}
+				grabs.Inc()
 				lo := int(cur)
 				hi := lo + chunk
 				if hi > n {
@@ -203,6 +222,8 @@ func (p *Pool) ForEachStealing(n, grain int, body func(i int)) {
 	if grain < 1 {
 		grain = 1
 	}
+	grabs := p.obs.Counter("sched.grabs")
+	steals := p.obs.Counter("sched.steals")
 	ranges := make([]*rangeTask, p.workers)
 	for w := 0; w < p.workers; w++ {
 		ranges[w] = &rangeTask{lo: w * n / p.workers, hi: (w + 1) * n / p.workers}
@@ -215,7 +236,9 @@ func (p *Pool) ForEachStealing(n, grain int, body func(i int)) {
 			my := ranges[w]
 			for {
 				lo, hi := my.grab(grain)
-				if lo == hi {
+				if lo != hi {
+					grabs.Inc()
+				} else {
 					// Steal: scan victims round-robin from w+1.
 					tSteal := time.Now()
 					stolen := false
@@ -225,6 +248,7 @@ func (p *Pool) ForEachStealing(n, grain int, body func(i int)) {
 							my.mu.Lock()
 							my.lo, my.hi = slo, shi
 							my.mu.Unlock()
+							steals.Inc()
 							stolen = true
 							break
 						}
@@ -251,6 +275,8 @@ func (p *Pool) ForEachStealing(n, grain int, body func(i int)) {
 // are dealt round-robin onto per-worker deques; owners pop LIFO, thieves
 // steal FIFO.
 func (p *Pool) RunTasks(tasks []func()) {
+	grabs := p.obs.Counter("sched.grabs")
+	steals := p.obs.Counter("sched.steals")
 	deques := make([]*Deque, p.workers)
 	for w := range deques {
 		deques[w] = &Deque{}
@@ -265,10 +291,13 @@ func (p *Pool) RunTasks(tasks []func()) {
 			defer wg.Done()
 			for {
 				task, ok := deques[w].PopBottom()
-				if !ok {
+				if ok {
+					grabs.Inc()
+				} else {
 					tSteal := time.Now()
 					for off := 1; off < p.workers; off++ {
 						if task, ok = deques[(w+off)%p.workers].Steal(); ok {
+							steals.Inc()
 							break
 						}
 					}

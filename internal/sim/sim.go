@@ -15,6 +15,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"tenways/internal/obs"
 )
 
 // event is one scheduled occurrence: either a process resumption or a
@@ -48,12 +50,13 @@ func (h *eventHeap) Pop() interface{} {
 // Kernel owns the virtual clock and event queue. A Kernel may be used for
 // one Run at a time; create a fresh one per simulation.
 type Kernel struct {
-	now    float64
-	pq     eventHeap
-	seq    uint64
-	yield  chan *Proc
-	nlive  int // procs started and not yet finished
-	events uint64
+	now     float64
+	pq      eventHeap
+	seq     uint64
+	yield   chan *Proc
+	nlive   int // procs started and not yet finished
+	events  uint64
+	metrics *obs.Registry
 }
 
 // NewKernel returns an idle kernel at time zero.
@@ -63,6 +66,11 @@ func NewKernel() *Kernel {
 
 // Now returns the current virtual time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
+
+// SetMetrics directs the kernel's event-loop metrics (events dispatched,
+// virtual time advanced, final makespan) to the given registry; nil keeps
+// the kernel silent. Call before Run.
+func (k *Kernel) SetMetrics(reg *obs.Registry) { k.metrics = reg }
 
 // Events returns the number of events dispatched so far.
 func (k *Kernel) Events() uint64 { return k.events }
@@ -253,6 +261,13 @@ func (k *Kernel) Run(n int, body func(p *Proc)) (float64, error) {
 				firstErr = p.err
 			}
 		}
+	}
+	if reg := k.metrics; reg != nil {
+		// One flush per run keeps the event loop itself atomic-free.
+		reg.Counter("sim.events").Add(int64(k.events))
+		reg.Counter("sim.runs").Inc()
+		reg.Gauge("sim.virtual_seconds").Add(k.now)
+		reg.Histogram("sim.makespan_seconds").Observe(k.now)
 	}
 	if firstErr != nil {
 		return k.now, firstErr

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"tenways/internal/obs"
 	"tenways/internal/workload"
 )
 
@@ -82,6 +83,9 @@ type Options struct {
 	// the hand-picked default, so the tuner never returns something worse
 	// than the status quo.
 	Seeds []Point
+	// Obs receives the run's tuning metrics (tune.evaluations,
+	// tune.cache_hits); nil selects the process-wide default registry.
+	Obs *obs.Registry
 }
 
 // ErrBudget is returned by Run.Eval when the evaluation budget is
@@ -298,6 +302,12 @@ func Minimize(space *Space, obj Objective, opts Options) (Result, error) {
 			best = e
 		}
 	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Counter("tune.evaluations").Add(int64(run.evals))
+	reg.Counter("tune.cache_hits").Add(int64(run.hits))
 	return Result{
 		Space:       space,
 		Strategy:    strategy.Name(),

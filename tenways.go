@@ -33,7 +33,9 @@ import (
 	"tenways/internal/collective"
 	"tenways/internal/core"
 	"tenways/internal/machine"
+	"tenways/internal/obs"
 	"tenways/internal/pgas"
+	"tenways/internal/report"
 	"tenways/internal/sched"
 	"tenways/internal/trace"
 	"tenways/internal/tune"
@@ -93,8 +95,54 @@ type Output = core.Output
 // Experiment is one registered table or figure generator.
 type Experiment = core.Experiment
 
-// NewLab returns the full evaluation suite: T1–T9 and F1–F26.
+// NewLab returns the full evaluation suite: T1–T10 and F1–F27.
 func NewLab() *Lab { return core.NewLab() }
+
+// RunOptions parameterises Lab.RunAll: worker-pool width, the experiment
+// subset, and an optional in-order result stream.
+type RunOptions = core.RunOptions
+
+// RunResult is one experiment's outcome under Lab.RunAll: output, error,
+// wall time, and the experiment's own metrics snapshot.
+type RunResult = core.RunResult
+
+// LabReport is the machine-readable record of a suite run (wastelab -json).
+type LabReport = core.LabReport
+
+// RunRecord is one experiment's entry in a LabReport.
+type RunRecord = core.RunRecord
+
+// NewLabReport assembles the JSON report for a completed RunAll.
+func NewLabReport(cfg Config, workers int, results []RunResult) *LabReport {
+	return core.NewLabReport(cfg, workers, results)
+}
+
+// Renderer writes tables and figures in one output format; see
+// RendererByName and Output.RenderWith.
+type Renderer = report.Renderer
+
+// RendererByName returns the renderer for "ascii", "markdown", "csv", or
+// "json" (with "text" and "md" aliases).
+func RendererByName(name string) (Renderer, error) { return report.RendererByName(name) }
+
+// RenderFormats lists the selectable renderer names.
+func RenderFormats() []string { return report.Formats() }
+
+// Metrics is a registry of counters, gauges, and histograms — the
+// dependency-free observability layer every subsystem records into. Thread
+// one through Config.Obs to attribute a run's metrics, or leave it nil for
+// the process-wide default.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide default registry.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// MetricsSnapshot is a registry's state at one instant: plain maps, safe
+// to marshal, compare, and merge.
+type MetricsSnapshot = obs.Snapshot
 
 // Injector perturbs a simulated run: after a rank spends d busy seconds
 // ending at virtual time now, Delay returns the extra seconds stolen from
