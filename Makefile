@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json quick clean
+.PHONY: all build test lint race bench bench-json quick clean
 
 all: test
 
@@ -15,8 +15,15 @@ build:
 test: build
 	$(GO) test ./...
 
+# Waste-mode static analysis (internal/lint via cmd/wastevet): determinism
+# guards plus the W1/W5/W7/W8/W9/W10 source-level mirrors. Fails on any
+# unsuppressed finding; LINT_JSON=<path> additionally writes the machine-
+# readable findings report.
+lint:
+	$(GO) run ./cmd/wastevet $(if $(LINT_JSON),-json $(LINT_JSON)) ./...
+
 # Tier-2 verify: static analysis + race detector.
-race:
+race: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

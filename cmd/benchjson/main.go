@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -87,7 +88,7 @@ func parseLine(line string) (Benchmark, bool) {
 // ns/op the measured wall time. Failed experiments stay visible in the
 // embedded report's error fields instead.
 func labBenchmarks(lr *tenways.LabReport) []Benchmark {
-	var out []Benchmark
+	out := make([]Benchmark, 0, len(lr.Results))
 	for _, rec := range lr.Results {
 		if rec.Error != "" {
 			continue
@@ -104,13 +105,58 @@ func labBenchmarks(lr *tenways.LabReport) []Benchmark {
 	return out
 }
 
-// readLabReport decodes one wastelab -json document.
+// readLabReport decodes one wastelab -json document. Malformed input is an
+// error, not a silent empty report: syntax and type mismatches carry the
+// offending byte offset (with line and column), trailing garbage after the
+// document is rejected, and a well-formed JSON value that isn't a lab
+// report (no machine, no results) is called out explicitly.
 func readLabReport(r io.Reader) (*tenways.LabReport, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read lab report: %v", err)
+	}
 	var lr tenways.LabReport
-	if err := json.NewDecoder(r).Decode(&lr); err != nil {
+	if err := json.Unmarshal(data, &lr); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			line, col := offsetPos(data, syn.Offset)
+			return nil, fmt.Errorf("parse lab report: %v at offset %d (line %d, column %d)",
+				syn, syn.Offset, line, col)
+		case errors.As(err, &typ):
+			line, col := offsetPos(data, typ.Offset)
+			field := typ.Field
+			if field == "" {
+				field = "document"
+			}
+			return nil, fmt.Errorf("parse lab report: %s holds JSON %s, want %s, at offset %d (line %d, column %d)",
+				field, typ.Value, typ.Type, typ.Offset, line, col)
+		}
 		return nil, fmt.Errorf("parse lab report: %v", err)
 	}
+	if lr.Machine == "" && len(lr.Results) == 0 {
+		return nil, fmt.Errorf("parse lab report: valid JSON but not a wastelab report (no \"machine\", no \"results\"; is this the right file?)")
+	}
 	return &lr, nil
+}
+
+// offsetPos converts a byte offset from the JSON decoder into a 1-based
+// line and column.
+func offsetPos(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 // run reads bench text (or an auto-detected lab report) from stdin and an

@@ -104,3 +104,77 @@ func TestBenchTextStillParses(t *testing.T) {
 		t.Fatalf("bench text mis-parsed: %+v", rep)
 	}
 }
+
+// TestMalformedLabReport pins the failure modes of -lab input: truncated
+// JSON, type mismatches, trailing garbage, and well-formed JSON that is
+// not a lab report must all error, with syntax and type errors pointing at
+// the offending offset. Previously a `{}` (or any valid non-report JSON)
+// was swallowed into an empty report.
+func TestMalformedLabReport(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings of the error message
+	}{
+		{
+			name: "truncated",
+			in:   `{"machine": "laptop2009", "results": [`,
+			want: []string{"parse lab report", "offset", "line 1"},
+		},
+		{
+			name: "type mismatch",
+			in:   `{"machine": "laptop2009",` + "\n" + ` "workers": "four",` + "\n" + ` "results": []}`,
+			want: []string{"parse lab report", "workers", "want int", "line 2"},
+		},
+		{
+			name: "trailing garbage",
+			in:   `{"machine": "laptop2009", "results": []}garbage`,
+			want: []string{"parse lab report", "offset 41"},
+		},
+		{
+			name: "not a lab report",
+			in:   `{"unrelated": true}`,
+			want: []string{"not a wastelab report"},
+		},
+		{
+			name: "wrong top-level type",
+			in:   `[1, 2, 3]`,
+			want: []string{"parse lab report", "offset"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readLabReport(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input %q accepted as a lab report", tc.in)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
+	}
+
+	// The error must also surface through run()'s stdin auto-detect path.
+	var out strings.Builder
+	if err := run(strings.NewReader(`{"machine": 3}`), &out, ""); err == nil {
+		t.Fatal("run swallowed a malformed piped lab report")
+	}
+}
+
+// TestOffsetPos checks the offset-to-position conversion at boundaries.
+func TestOffsetPos(t *testing.T) {
+	data := []byte("ab\ncd\n")
+	cases := []struct {
+		off       int64
+		line, col int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {99, 3, 1},
+	}
+	for _, tc := range cases {
+		if l, c := offsetPos(data, tc.off); l != tc.line || c != tc.col {
+			t.Errorf("offsetPos(%d) = %d:%d, want %d:%d", tc.off, l, c, tc.line, tc.col)
+		}
+	}
+}

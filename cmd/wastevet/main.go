@@ -1,0 +1,106 @@
+// Command wastevet runs the waste-mode static analyzer over the repo: the
+// determinism guards that keep the modelled plane byte-identical, and the
+// source-level mirrors of the keynote's ten ways. It follows wastelab's
+// conventions: renderer-backed table output, a JSON report for machine
+// consumers, and a non-zero exit when anything is wrong.
+//
+// Usage:
+//
+//	wastevet ./...
+//	wastevet -rules wallclock,atomicpad internal/obs
+//	wastevet -format markdown -suppressed ./...
+//	wastevet -json wastevet.json ./...
+//	wastevet -list
+//
+// Exit status: 0 when no unsuppressed finding, 1 when findings remain,
+// 2 for usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tenways/internal/lint"
+	"tenways/internal/report"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list rules and exit")
+		rules      = flag.String("rules", "", "comma-separated rule subset (default: all)")
+		format     = flag.String("format", "ascii", "summary table format: ascii, markdown, csv, json")
+		jsonPath   = flag.String("json", "", "write a JSON findings report to this file ('-' for stdout)")
+		suppressed = flag.Bool("suppressed", false, "also print suppressed findings")
+	)
+	flag.Parse()
+
+	if *list {
+		if err := (report.ASCII{}).Table(os.Stdout, lint.CatalogTable("LINT", "wastevet rule catalog", nil)); err != nil {
+			fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	renderer, err := report.RendererByName(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := lint.DefaultConfig()
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+		os.Exit(2)
+	}
+
+	for _, f := range res.Findings {
+		if f.Suppressed && !*suppressed {
+			continue
+		}
+		fmt.Println(f.String())
+	}
+	if err := renderer.Table(os.Stdout, lint.CatalogTable("LINT", lint.Summary(res), res)); err != nil {
+		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+			os.Exit(2)
+		}
+		if *jsonPath != "-" {
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+
+	if len(res.Unsuppressed()) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeJSON writes the findings document to path, or stdout for "-".
+func writeJSON(path string, res *lint.Result) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}

@@ -87,7 +87,7 @@ func FitSerialFraction(ps []int, speedups []float64) (f float64, growing bool, e
 	if len(ps) != len(speedups) || len(ps) == 0 {
 		return 0, false, ErrBadMeasurement
 	}
-	var fractions []float64
+	fractions := make([]float64, 0, len(ps))
 	for i := range ps {
 		kf, err := KarpFlatt(speedups[i], ps[i])
 		if err != nil {

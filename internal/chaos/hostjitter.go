@@ -24,6 +24,7 @@ type HostJitter struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started atomic.Bool
+	_       [56]byte     // keep burned off started's cache line (W9)
 	burned  atomic.Int64 // total burn nanoseconds across jitter workers
 }
 

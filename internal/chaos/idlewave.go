@@ -169,6 +169,7 @@ func RunIdleWave(spec *machine.Spec, cfg IdleWaveConfig) (IdleWaveResult, error)
 				r.Lapse(cfg.Compute)
 				comm.BarrierEnd()
 			default:
+				//lint:ignore sprintf unreachable default arm: panic message formatting, not per-element work
 				panic(fmt.Sprintf("chaos: unknown stack %d", cfg.Stack))
 			}
 			finish[id][s] = r.Now()

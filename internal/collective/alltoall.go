@@ -1,6 +1,9 @@
 package collective
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // AlltoallPersonalized performs the all-to-all personalised exchange: rank
 // i's data[j] is delivered to rank j, and the call returns what this rank
@@ -30,11 +33,11 @@ func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float6
 	for off := 1; off < n; off++ {
 		dst := (me + off) % n
 		block := data[dst]
-		c.send(dst, fmt.Sprintf("a2a.cnt.%d", me), []float64{float64(len(block))})
+		c.send(dst, "a2a.cnt."+strconv.Itoa(me), []float64{float64(len(block))})
 		if len(block) == 0 {
 			continue
 		}
-		box := fmt.Sprintf("a2a.%d", me)
+		box := "a2a." + strconv.Itoa(me)
 		if chunkWords <= 0 || chunkWords >= len(block) {
 			c.send(dst, box, block)
 			continue
@@ -50,10 +53,10 @@ func (c *Comm) AlltoallPersonalized(data [][]float64, chunkWords int) [][]float6
 	// Receive phase: header first, then accumulate until complete.
 	for off := 1; off < n; off++ {
 		src := (me + off) % n
-		hdr := r.Recv(fmt.Sprintf("a2a.cnt.%d", src))
+		hdr := r.Recv("a2a.cnt." + strconv.Itoa(src))
 		want := int(hdr[0])
 		buf := make([]float64, 0, want)
-		box := fmt.Sprintf("a2a.%d", src)
+		box := "a2a." + strconv.Itoa(src)
 		for len(buf) < want {
 			buf = append(buf, r.Recv(box)...)
 		}

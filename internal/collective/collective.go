@@ -15,6 +15,7 @@ package collective
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"tenways/internal/obs"
 	"tenways/internal/pgas"
@@ -115,7 +116,7 @@ func (c *Comm) BarrierDissemination() {
 	r := c.r
 	n := r.N()
 	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
-		flag := fmt.Sprintf("bar.d.%d", k)
+		flag := "bar.d." + strconv.Itoa(k)
 		c.signal((r.ID()+dist)%n, flag)
 		c.waitSync(flag, 1)
 	}
@@ -288,7 +289,7 @@ func (c *Comm) AllreduceRecursiveDoubling(x []float64, op Op) ([]float64, error)
 	acc := append([]float64(nil), x...)
 	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
 		partner := r.ID() ^ dist
-		box := fmt.Sprintf("ar.rd.%d", k)
+		box := "ar.rd." + strconv.Itoa(k)
 		c.send(partner, box, acc)
 		in := r.Recv(box)
 		for i := 0; i < m; i++ {
@@ -319,8 +320,9 @@ func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
 		sendChunk := (id - s + n) % n
 		recvChunk := (id - s - 1 + n) % n
 		lo, hi := chunkRange(m, n, sendChunk)
-		c.send(right, fmt.Sprintf("ar.ring.%d", s), acc[lo:hi])
-		in := r.Recv(fmt.Sprintf("ar.ring.%d", s))
+		box := "ar.ring." + strconv.Itoa(s)
+		c.send(right, box, acc[lo:hi])
+		in := r.Recv(box)
 		rlo, rhi := chunkRange(m, n, recvChunk)
 		for i := rlo; i < rhi; i++ {
 			acc[i] = op(acc[i], in[i-rlo])
@@ -332,8 +334,9 @@ func (c *Comm) AllreduceRing(x []float64, op Op) []float64 {
 		sendChunk := (id - s + 1 + n) % n
 		recvChunk := (id - s + n) % n
 		lo, hi := chunkRange(m, n, sendChunk)
-		c.send(right, fmt.Sprintf("ar.ring.g%d", s), acc[lo:hi])
-		in := r.Recv(fmt.Sprintf("ar.ring.g%d", s))
+		box := "ar.ring.g" + strconv.Itoa(s)
+		c.send(right, box, acc[lo:hi])
+		in := r.Recv(box)
 		rlo, _ := chunkRange(m, n, recvChunk)
 		copy(acc[rlo:], in)
 	}

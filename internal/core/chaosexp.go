@@ -214,7 +214,7 @@ func runF24(ctx context.Context, cfg Config) (Output, error) {
 		if dynamic {
 			name = "self-scheduling (over-decomposed)"
 		}
-		var ys []float64
+		ys := make([]float64, 0, len(factors))
 		for _, factor := range factors {
 			c := chaos.StragglerConfig{Ranks: p, Tasks: tasks, TaskSec: taskSec, Dynamic: dynamic, Obs: cfg.metrics()}
 			if factor > 1 {

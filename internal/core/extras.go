@@ -185,7 +185,7 @@ func runT7(ctx context.Context, cfg Config) (Output, error) {
 		fmt.Sprintf("Karp–Flatt analysis of the stencil (%d^2 grid) on %s", gridN, spec.Name),
 		"ranks", "stack", "speedup", "efficiency", "karp-flatt serial fraction")
 	var ps []int
-	var speedupsRemedied []float64
+	speedupsRemedied := make([]float64, 0, 5)
 	for _, p := range []int{2, 4, 8, 16, 32} {
 		for _, wasteful := range []bool{true, false} {
 			res, err := stencilCampaign(cfg.metrics(), spec, p, gridN, steps, wasteful)

@@ -201,5 +201,6 @@ func allExperiments() []Experiment {
 		{ID: "F26", Title: "Tuner convergence: best-so-far cost vs evaluations", Run: runF26},
 		{ID: "T10", Title: "Lab self-profile: per-experiment work metrics", Run: runT10, Measured: true},
 		{ID: "F27", Title: "Parallel runner speedup vs worker count", Run: runF27, Measured: true},
+		{ID: "T11", Title: "wastevet self-audit: rule-to-waste-mode map and finding counts", Run: runT11},
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+// T11: the lab audits its own source. wastevet's rule set runs over the
+// whole module and the table maps each rule to the waste mode it guards,
+// with three counts per rule: findings at the analyzer's introduction
+// (before the repo-wide cleanup landed), unsuppressed findings now, and
+// acknowledged //lint:ignore waivers now. A clean tree shows zeros in the
+// "now" column; the "at-intro" column preserves how much source-level
+// waste the ten-ways mirrors found in a repo that was already trying to
+// avoid them.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"tenways/internal/lint"
+	"tenways/internal/report"
+)
+
+// t11Baseline records per-rule finding counts from the analyzer's first
+// run over the repo, before the cleanup pass. Frozen history, not
+// recomputed: the "before" column of the before/after comparison.
+var t11Baseline = map[string]int{
+	"prealloc":  26,
+	"sprintf":   17,
+	"atomicpad": 3,
+	"chanbatch": 1,
+}
+
+// The scan parses and type-checks the whole module (~2s); the suite runs
+// repeatedly in tests (serial vs parallel byte-identity), so the result is
+// computed once per process. Source doesn't change mid-process, so the
+// memo also keeps T11 byte-identical across RunAll invocations.
+var (
+	t11Once sync.Once
+	t11Res  *lint.Result
+	t11Err  error
+)
+
+func t11Scan() (*lint.Result, error) {
+	t11Once.Do(func() {
+		l, err := lint.NewLoader()
+		if err != nil {
+			t11Err = err
+			return
+		}
+		pkgs, err := l.Load(l.Root() + "/...")
+		if err != nil {
+			t11Err = err
+			return
+		}
+		t11Res, t11Err = lint.Analyze(lint.DefaultConfig(), l.Root(), pkgs)
+	})
+	return t11Res, t11Err
+}
+
+func runT11(ctx context.Context, cfg Config) (Output, error) {
+	res, err := t11Scan()
+	if err != nil {
+		return Output{}, err
+	}
+	total, sup := res.Counts()
+	reg := cfg.metrics()
+	reg.Counter("lint.findings").Add(int64(len(res.Findings)))
+	reg.Counter("lint.unsuppressed").Add(int64(len(res.Unsuppressed())))
+	reg.Counter("lint.files").Add(int64(res.Files))
+	reg.Counter("lint.packages").Add(int64(res.Packages))
+
+	t := report.NewTable("T11",
+		"wastevet self-audit: rule-to-waste-mode map with finding counts at analyzer introduction vs now",
+		"rule", "guards", "enforces", "at-intro", "now", "suppressed")
+	var sumIntro, sumNow, sumSup int
+	for _, r := range lint.Rules() {
+		name := r.Name()
+		now := total[name] - sup[name]
+		sumIntro += t11Baseline[name]
+		sumNow += now
+		sumSup += sup[name]
+		t.AddRow(name, lint.WasteLabel(r.Waste()), r.Doc(),
+			strconv.Itoa(t11Baseline[name]), strconv.Itoa(now), strconv.Itoa(sup[name]))
+	}
+	t.AddRow("total", "", "",
+		strconv.Itoa(sumIntro), strconv.Itoa(sumNow), strconv.Itoa(sumSup))
+	return Output{Table: t}, nil
+}

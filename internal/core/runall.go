@@ -92,6 +92,7 @@ func (l *Lab) RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]RunRes
 	}
 	go func() {
 		for i := range exps {
+			//lint:ignore chanbatch work queue by design: workers grab one experiment index at a time, batching would serialise pickup
 			idxCh <- i
 		}
 		close(idxCh)
@@ -106,6 +107,7 @@ func (l *Lab) RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]RunRes
 	}
 	wg.Wait()
 
+	//lint:ignore prealloc failures are the rare case; preallocating for the usual empty list would waste
 	var failed []string
 	for _, r := range results {
 		if r.Err != nil {
@@ -203,6 +205,7 @@ func NewLabReport(cfg Config, workers int, results []RunResult) *LabReport {
 
 // FailedIDs returns the IDs of the failed records, sorted.
 func (r *LabReport) FailedIDs() []string {
+	//lint:ignore prealloc failures are the rare case; preallocating for the usual empty list would waste
 	var out []string
 	for _, rec := range r.Results {
 		if rec.Error != "" {

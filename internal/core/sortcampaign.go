@@ -99,7 +99,11 @@ func sortCampaign(reg *obs.Registry, spec *machine.Spec, p, perRank int, wastefu
 			c.BarrierCentral()
 		}
 		// Phase 4: local merge.
-		var mine []float64
+		total := 0
+		for _, b := range recv {
+			total += len(b)
+		}
+		mine := make([]float64, 0, total)
 		for _, b := range recv {
 			mine = append(mine, b...)
 		}

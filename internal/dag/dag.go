@@ -67,13 +67,13 @@ func (d *DAG) TopoOrder() ([]int, error) {
 	for v := 0; v < n; v++ {
 		indeg[v] = len(d.pred[v])
 	}
-	var ready []int
+	ready := make([]int, 0, n)
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			ready = append(ready, v)
 		}
 	}
-	var order []int
+	order := make([]int, 0, n)
 	for len(ready) > 0 {
 		sort.Ints(ready)
 		v := ready[0]
@@ -182,7 +182,7 @@ func (d *DAG) ScheduleGreedy(p int) (Schedule, error) {
 		at float64
 		id int
 	}
-	var ready []readyTask
+	ready := make([]readyTask, 0, n)
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			ready = append(ready, readyTask{0, v})

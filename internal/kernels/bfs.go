@@ -17,7 +17,9 @@ func BFS(g *workload.Graph, src int) []int {
 	dist[src] = 0
 	frontier := []int{src}
 	for level := 1; len(frontier) > 0; level++ {
-		var next []int
+		// Seed the next frontier's capacity with the current one's size —
+		// the usual growth estimate for level-synchronous BFS.
+		next := make([]int, 0, len(frontier))
 		for _, u := range frontier {
 			for _, v := range g.Adj[u] {
 				if dist[v] == -1 {

@@ -1,0 +1,349 @@
+// Package lint is the lab's waste-mode static analyzer: a dependency-free
+// framework on stdlib go/parser, go/ast, and go/types that enforces the two
+// invariant families the rest of the repo only tests after the fact.
+//
+// The determinism rules guard the modelled plane — the packages whose output
+// must be byte-identical run to run (EXPERIMENTS.md): no wall-clock reads,
+// no unseeded or time-seeded PRNGs, no map iteration feeding rendered
+// output, no fire-and-forget goroutines. The waste rules mirror the
+// keynote's ten ways at the source level: locks copied by value (W5),
+// growth-by-append data re-movement (W1), per-element formatting (W8),
+// adjacent atomics sharing a cache line (W9), one-element channel sends
+// (W7), deferred work piling up inside loops (W10).
+//
+// A finding can be acknowledged in place with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line above it; the reason is mandatory and
+// the suppression is itself recorded, so wastevet -suppressed and the T11
+// experiment can audit what was waved through. Findings are sorted and
+// positions are module-relative, so reports are byte-stable across runs and
+// checkouts; rendering goes through internal/report like every other table
+// in the suite.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation (or suppressed violation) at a position.
+type Finding struct {
+	// Rule is the reporting rule's name, e.g. "wallclock".
+	Rule string `json:"rule"`
+	// Waste is the waste mode or invariant the rule guards, e.g. "W9" or
+	// "det" for the determinism family.
+	Waste string `json:"waste"`
+	// File is the module-root-relative path, forward slashes.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Msg says what is wrong and what the remedy is.
+	Msg string `json:"msg"`
+	// Suppressed marks findings acknowledged by a //lint:ignore directive;
+	// Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Pos renders the finding's position as file:line:col.
+func (f Finding) Pos() string { return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col) }
+
+// String renders the finding as one grep-friendly line.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s: %s [%s]", f.Pos(), f.Rule, f.Msg, f.Waste)
+	if f.Suppressed {
+		s += " (suppressed: " + f.Reason + ")"
+	}
+	return s
+}
+
+// Rule is one static check. Rules must be deterministic and must report
+// positions only inside the package they were handed.
+type Rule interface {
+	// Name is the short identifier used by -rules and //lint:ignore.
+	Name() string
+	// Waste is the waste mode (W1..W10) or invariant family ("det") the
+	// rule guards.
+	Waste() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// Check inspects one loaded package and reports findings.
+	Check(p *Package, r *Reporter)
+}
+
+// Config selects rules and scopes the plane-sensitive ones.
+type Config struct {
+	// Rules enables a subset by name; nil or empty enables every rule.
+	Rules []string
+	// MeasuredPlane lists import-path fragments where wall-clock reads and
+	// math/rand imports are legitimate: the packages that measure the host
+	// rather than model the machine. The determinism rules skip packages
+	// whose import path contains any fragment.
+	MeasuredPlane []string
+	// PresentationPlane lists import-path fragments where per-element
+	// formatting is the point (table builders, CLIs, examples); the sprintf
+	// rule skips them.
+	PresentationPlane []string
+}
+
+// DefaultConfig scopes the planes the way the repo is laid out: the
+// measured plane (trace, sched, obs, chaos, core, the commands, the
+// examples) may read wall clocks; the presentation plane (report, core,
+// waste, tune, the commands, the examples) may format per element.
+func DefaultConfig() Config {
+	return Config{
+		MeasuredPlane: []string{
+			"internal/trace", "internal/sched", "internal/obs",
+			"internal/chaos", "internal/core", "cmd/", "examples/",
+		},
+		PresentationPlane: []string{
+			"internal/report", "internal/core", "internal/waste",
+			"internal/tune", "internal/stats", "cmd/", "examples/",
+		},
+	}
+}
+
+// inPlane reports whether the package import path matches any fragment.
+func inPlane(path string, fragments []string) bool {
+	for _, f := range fragments {
+		if strings.Contains(path, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// enabled returns the selected subset of rules, in catalog order.
+func (c Config) enabled() ([]Rule, error) {
+	all := Rules()
+	if len(c.Rules) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	want := make(map[string]bool, len(c.Rules))
+	for _, name := range c.Rules {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)",
+				name, strings.Join(RuleNames(), ", "))
+		}
+		want[name] = true
+	}
+	out := make([]Rule, 0, len(want))
+	for _, r := range all {
+		if want[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Reporter accumulates findings for one package under one rule run.
+type Reporter struct {
+	pkg      *Package
+	rule     Rule
+	root     string
+	findings *[]Finding
+}
+
+// Report records a finding at pos. The message should name the remedy, not
+// just the problem.
+func (r *Reporter) Report(pos token.Pos, format string, args ...interface{}) {
+	p := r.pkg.Fset.Position(pos)
+	file := p.Filename
+	if r.root != "" {
+		if rel, err := filepath.Rel(r.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	*r.findings = append(*r.findings, Finding{
+		Rule:  r.rule.Name(),
+		Waste: r.rule.Waste(),
+		File:  filepath.ToSlash(file),
+		Line:  p.Line,
+		Col:   p.Column,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is a completed lint run.
+type Result struct {
+	// Findings holds every finding, suppressed ones included, sorted by
+	// (file, line, col, rule) — a byte-stable order.
+	Findings []Finding `json:"findings"`
+	Packages int       `json:"packages"`
+	Files    int       `json:"files"`
+}
+
+// Unsuppressed returns the findings not acknowledged by an ignore
+// directive; an empty slice means the tree is clean.
+func (res *Result) Unsuppressed() []Finding {
+	out := make([]Finding, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Counts returns per-rule totals: all findings and the suppressed subset.
+func (res *Result) Counts() (total, suppressed map[string]int) {
+	total = make(map[string]int)
+	suppressed = make(map[string]int)
+	for _, f := range res.Findings {
+		total[f.Rule]++
+		if f.Suppressed {
+			suppressed[f.Rule]++
+		}
+	}
+	return total, suppressed
+}
+
+// Run loads the packages matching patterns (see Loader.Load) and applies
+// the configured rules. It is the one-call entry point cmd/wastevet and the
+// T11 experiment share.
+func Run(cfg Config, patterns ...string) (*Result, error) {
+	l, err := NewLoader()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(cfg, l.Root(), pkgs)
+}
+
+// Analyze applies the configured rules to already-loaded packages. root
+// (the module root) relativises finding paths; empty keeps them absolute.
+func Analyze(cfg Config, root string, pkgs []*Package) (*Result, error) {
+	rules, err := cfg.enabled()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs)}
+	var findings []Finding
+	for _, p := range pkgs {
+		res.Files += len(p.Files)
+		p.cfg = cfg
+		sup := newSuppressions(p, root, &findings)
+		for _, rule := range rules {
+			rule.Check(p, &Reporter{pkg: p, rule: rule, root: root, findings: &findings})
+		}
+		sup.apply(findings)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	if findings == nil {
+		findings = []Finding{} // a clean tree marshals as [], not null
+	}
+	res.Findings = findings
+	return res, nil
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	rule   string
+	reason string
+	line   int
+	file   string // module-relative, matching Finding.File
+}
+
+// suppressions indexes a package's ignore directives by file and line.
+type suppressions struct {
+	pkg   *Package
+	byKey map[string]suppression // "file:line:rule"
+}
+
+// newSuppressions parses every //lint:ignore directive in the package. A
+// directive missing its reason is itself reported as an "ignore" finding —
+// undocumented waivers are exactly what the analyzer exists to prevent.
+func newSuppressions(p *Package, root string, findings *[]Finding) *suppressions {
+	s := &suppressions{pkg: p, byKey: make(map[string]suppression)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				file := pos.Filename
+				if root != "" {
+					if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+						file = rel
+					}
+				}
+				file = filepath.ToSlash(file)
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					*findings = append(*findings, Finding{
+						Rule: "ignore", Waste: "det",
+						File: file, Line: pos.Line, Col: pos.Column,
+						Msg: "//lint:ignore needs a rule name and a reason: //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				sup := suppression{
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+					line:   pos.Line,
+					file:   file,
+				}
+				// A trailing directive covers its own line; a standalone
+				// directive covers the line below. Registering both is
+				// harmless and keeps the matcher trivial.
+				s.byKey[supKey(file, pos.Line, sup.rule)] = sup
+				s.byKey[supKey(file, pos.Line+1, sup.rule)] = sup
+			}
+		}
+	}
+	return s
+}
+
+// apply marks findings covered by a directive as suppressed, in place.
+func (s *suppressions) apply(findings []Finding) {
+	if len(s.byKey) == 0 {
+		return
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Suppressed || f.Rule == "ignore" {
+			continue
+		}
+		if sup, ok := s.byKey[supKey(f.File, f.Line, f.Rule)]; ok {
+			f.Suppressed = true
+			f.Reason = sup.reason
+		}
+	}
+}
+
+// supKey builds the suppression index key without fmt — the analyzer obeys
+// its own sprintf rule.
+func supKey(file string, line int, rule string) string {
+	return file + ":" + strconv.Itoa(line) + ":" + rule
+}

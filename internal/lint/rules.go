@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rules returns the full catalog in canonical order: the determinism family
+// first, then the waste-mode mirrors in keynote order.
+func Rules() []Rule {
+	return []Rule{
+		wallclockRule{},
+		randseedRule{},
+		maprangeRule{},
+		goroutineRule{},
+		copylocksRule{},
+		preallocRule{},
+		sprintfRule{},
+		atomicpadRule{},
+		chanbatchRule{},
+		deferloopRule{},
+	}
+}
+
+// RuleNames returns the catalog's rule names in canonical order.
+func RuleNames() []string {
+	rules := Rules()
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// ---- shared AST/type helpers ----
+
+// pkgFunc reports whether call invokes pkgPath.name for one of names, using
+// type information when present and the file's import table otherwise.
+// It returns the matched function name.
+func pkgFunc(p *Package, f *ast.File, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isPkgName(p, f, id, pkgPath) {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// isPkgName reports whether id names the import of pkgPath in file f.
+func isPkgName(p *Package, f *ast.File, id *ast.Ident, pkgPath string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path() == pkgPath
+			}
+			return false
+		}
+	}
+	return p.imports[f][id.Name] == pkgPath
+}
+
+// selIsType reports whether the type expression is the selector
+// pkgPath.name (e.g. sync.Mutex) in file f, unwrapping parens.
+func selIsType(p *Package, f *ast.File, expr ast.Expr, pkgPath string, names ...string) bool {
+	for {
+		if par, ok := expr.(*ast.ParenExpr); ok {
+			expr = par.X
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isPkgName(p, f, id, pkgPath) {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf returns the expression's type, or nil when type information is
+// missing or invalid.
+func typeOf(p *Package, expr ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return nil
+	}
+	if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.Invalid {
+		return nil
+	}
+	return t
+}
+
+// isMapType reports whether the expression's static type is a map,
+// unwrapping named types and pointers.
+func isMapType(p *Package, expr ast.Expr) bool {
+	t := typeOf(p, expr)
+	for t != nil {
+		switch u := t.Underlying().(type) {
+		case *types.Map:
+			return true
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isChanType reports whether the expression's static type is a channel.
+func isChanType(p *Package, expr ast.Expr) bool {
+	t := typeOf(p, expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// eachFunc visits every function body in the file (declarations and
+// literals), handing the body to fn.
+func eachFunc(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		}
+		return true
+	})
+}
+
+// loopBody returns the body of a for or range statement, else nil.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// inspectLoops visits every for/range statement in the file.
+func inspectLoops(f *ast.File, fn func(loop ast.Stmt, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if body := loopBody(n); body != nil {
+			fn(n.(ast.Stmt), body)
+		}
+		return true
+	})
+}
+
+// identName returns the name of an identifier expression, or "".
+func identName(expr ast.Expr) string {
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

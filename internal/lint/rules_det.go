@@ -1,0 +1,262 @@
+package lint
+
+// The determinism family. The lab's contract (README, DESIGN,
+// EXPERIMENTS) is that the modelled plane is a pure function of (machine,
+// workload, seed): same inputs, byte-identical tables. These rules make
+// the contract structural instead of test-enforced: wall clocks, ambient
+// PRNGs, map iteration order, and unaccounted goroutines are the four ways
+// host nondeterminism leaks into modelled results.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockRule forbids wall-clock reads outside the measured plane.
+type wallclockRule struct{}
+
+func (wallclockRule) Name() string  { return "wallclock" }
+func (wallclockRule) Waste() string { return "det" }
+func (wallclockRule) Doc() string {
+	return "no time.Now/Since/Sleep in the modelled plane; virtual time only"
+}
+
+// wallclockFuncs are the time functions that read or wait on the host
+// clock. time.Duration arithmetic and formatting stay legal everywhere.
+var wallclockFuncs = []string{
+	"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
+	"Tick", "NewTicker", "NewTimer",
+}
+
+func (r wallclockRule) Check(p *Package, rep *Reporter) {
+	if inPlane(p.ImportPath, p.cfg.MeasuredPlane) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFunc(p, f, call, "time", wallclockFuncs...); ok {
+				rep.Report(call.Pos(),
+					"time.%s reads the host clock inside the modelled plane; model virtual time or move the measurement to the measured plane", name)
+			}
+			return true
+		})
+	}
+}
+
+// randseedRule forbids ambient math/rand randomness: the modelled plane
+// must not import it at all, and nothing anywhere may use the shared
+// package-global source or seed a generator from the clock.
+type randseedRule struct{}
+
+func (randseedRule) Name() string  { return "randseed" }
+func (randseedRule) Waste() string { return "det" }
+func (randseedRule) Doc() string {
+	return "no unseeded or time-seeded math/rand; thread an explicit seed (workload.Rand)"
+}
+
+// globalRandFuncs draw from math/rand's shared package source.
+var globalRandFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "Uint32", "Uint64",
+	"Float32", "Float64", "Perm", "Shuffle", "NormFloat64", "ExpFloat64", "Seed",
+}
+
+func (r randseedRule) Check(p *Package, rep *Reporter) {
+	measured := inPlane(p.ImportPath, p.cfg.MeasuredPlane)
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path := importSpecPath(spec)
+			if (path == "math/rand" || path == "math/rand/v2") && !measured {
+				rep.Report(spec.Pos(),
+					"the modelled plane must draw randomness from a threaded seed (workload.Rand, chaos.DefaultSeed), not %s", path)
+			}
+		}
+		for randName, path := range p.imports[f] {
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			_ = randName
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgFunc(p, f, call, path, globalRandFuncs...); ok {
+					rep.Report(call.Pos(),
+						"rand.%s uses the shared package-global source; construct a local generator from an explicit seed", name)
+				}
+				if _, ok := pkgFunc(p, f, call, path, "NewSource", "NewPCG", "NewChaCha8"); ok && containsTimeCall(p, f, call) {
+					rep.Report(call.Pos(),
+						"time-seeded PRNG changes every run; thread an explicit seed so results reproduce")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// containsTimeCall reports whether the subtree calls into package time.
+func containsTimeCall(p *Package, f *ast.File, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && isPkgName(p, f, id, "time") {
+					found = true
+					return false
+				}
+			}
+			// Method chains like time.Now().UnixNano() keep the receiver
+			// call nested, so plain recursion finds them.
+		}
+		return !found
+	})
+	return found
+}
+
+// importSpecPath returns the unquoted import path of a spec.
+func importSpecPath(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// maprangeRule flags map iteration that feeds rendered output directly:
+// Go randomises map order per run, so every emitting loop must iterate a
+// sorted key slice instead.
+type maprangeRule struct{}
+
+func (maprangeRule) Name() string  { return "maprange" }
+func (maprangeRule) Waste() string { return "det" }
+func (maprangeRule) Doc() string {
+	return "no map range feeding output sinks; sort the keys first"
+}
+
+// outputSinks are method/function names that emit user-visible bytes. The
+// set is deliberately about direct emission: building an intermediate
+// slice and sorting it before output is the remedy, not a violation.
+var outputSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddSeries": true,
+}
+
+func (r maprangeRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		seen := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p, rs.X) {
+				return true
+			}
+			line := p.Fset.Position(rs.Pos()).Line
+			if seen[line] {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var name string
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				case *ast.Ident:
+					name = fun.Name
+				}
+				if outputSinks[name] && !seen[line] {
+					seen[line] = true
+					rep.Report(rs.Pos(),
+						"map iteration order is randomised but this loop emits output (%s); range over sorted keys instead", name)
+					return false
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// goroutineRule flags fire-and-forget goroutines: a spawn with no context,
+// done channel, channel hand-off, or WaitGroup in sight has no shutdown or
+// completion path, which is how stray host concurrency leaks into (and
+// outlives) a run.
+type goroutineRule struct{}
+
+func (goroutineRule) Name() string  { return "goroutine" }
+func (goroutineRule) Waste() string { return "det" }
+func (goroutineRule) Doc() string {
+	return "every goroutine needs a ctx/done/WaitGroup linkage"
+}
+
+func (r goroutineRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineLinked(p, g) {
+				rep.Report(g.Pos(),
+					"goroutine has no ctx, done channel, channel hand-off, or WaitGroup; give it a completion path so runs stay accountable")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineLinked looks for any lifecycle linkage in the go statement:
+// channel operations, select, wg.Done/Wait/Add, a context value, or a
+// channel-typed argument.
+func goroutineLinked(p *Package, g *ast.GoStmt) bool {
+	linked := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if linked {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" {
+				linked = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			linked = true
+		case *ast.CallExpr:
+			if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait", "Add":
+					linked = true
+				}
+			}
+		case *ast.Ident:
+			if m.Name == "ctx" || isContextType(p, m) || isChanType(p, m) {
+				linked = true
+			}
+		}
+		return !linked
+	})
+	return linked
+}
+
+// isContextType reports whether the expression's static type is
+// context.Context.
+func isContextType(p *Package, expr ast.Expr) bool {
+	t := typeOf(p, expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

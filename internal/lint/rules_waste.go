@@ -1,0 +1,336 @@
+package lint
+
+// The waste-mode mirrors. Each rule is the source-level shadow of one of
+// the keynote's ten ways: the pattern wastes cycles, bytes, or cache lines
+// in our own Go the same way the modelled demonstrators waste them on the
+// modelled machine.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// copylocksRule flags sync primitives passed, returned, or received by
+// value: the copy splits the lock's state, so two goroutines serialise on
+// different locks while believing they share one (McKenney's classic).
+type copylocksRule struct{}
+
+func (copylocksRule) Name() string  { return "copylocks" }
+func (copylocksRule) Waste() string { return "W5" }
+func (copylocksRule) Doc() string {
+	return "sync.Mutex/WaitGroup/Once/Cond must not be copied by value"
+}
+
+// syncValueTypes are the sync types that embed state a copy would split.
+var syncValueTypes = []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map"}
+
+func (r copylocksRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		check := func(fl *ast.FieldList, kind string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				if selIsType(p, f, field.Type, "sync", syncValueTypes...) {
+					rep.Report(field.Pos(),
+						"%s copies a sync primitive by value, splitting its state; take a pointer", kind)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				check(d.Recv, "receiver")
+				check(d.Type.Params, "parameter")
+				check(d.Type.Results, "result")
+			case *ast.FuncLit:
+				check(d.Type.Params, "parameter")
+				check(d.Type.Results, "result")
+			case *ast.RangeStmt:
+				// for _, mu := range muslice copies each element.
+				if d.Value != nil && selIsType(p, f, rangeElemTypeExpr(d), "sync", syncValueTypes...) {
+					rep.Report(d.Value.Pos(),
+						"range copies a sync primitive by value, splitting its state; index the slice instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rangeElemTypeExpr is a best-effort AST peek at the element type of a
+// ranged composite literal; real slices need type info, which copylocks
+// deliberately does not depend on, so this covers only literal ranges.
+func rangeElemTypeExpr(rs *ast.RangeStmt) ast.Expr {
+	if lit, ok := rs.X.(*ast.CompositeLit); ok {
+		if arr, ok := lit.Type.(*ast.ArrayType); ok {
+			return arr.Elt
+		}
+	}
+	return nil
+}
+
+// preallocRule flags the append-growth pattern: a slice declared empty
+// immediately before a loop that appends to it re-moves the backing array
+// through the allocator and memory hierarchy at every doubling — the
+// in-process version of W1.
+type preallocRule struct{}
+
+func (preallocRule) Name() string  { return "prealloc" }
+func (preallocRule) Waste() string { return "W1" }
+func (preallocRule) Doc() string {
+	return "preallocate slices grown by append in the following loop"
+}
+
+func (r preallocRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i := 1; i < len(block.List); i++ {
+				body := loopBody(block.List[i])
+				if body == nil {
+					continue
+				}
+				name, declPos, ok := emptySliceDecl(block.List[i-1])
+				if !ok {
+					continue
+				}
+				if appendsTo(body, name) {
+					rep.Report(declPos,
+						"%s grows by append inside the following loop; preallocate with make(..., 0, n) to avoid repeated re-allocation and copying", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// emptySliceDecl matches `x := []T{}`, `x := make([]T, 0)`, and
+// `var x []T`, returning the declared name.
+func emptySliceDecl(stmt ast.Stmt) (string, token.Pos, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.DEFINE || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return "", 0, false
+		}
+		name := identName(s.Lhs[0])
+		if name == "" || name == "_" {
+			return "", 0, false
+		}
+		switch rhs := s.Rhs[0].(type) {
+		case *ast.CompositeLit:
+			if arr, ok := rhs.Type.(*ast.ArrayType); ok && arr.Len == nil && len(rhs.Elts) == 0 {
+				return name, s.Pos(), true
+			}
+		case *ast.CallExpr:
+			if identName(rhs.Fun) == "make" && len(rhs.Args) == 2 {
+				if arr, ok := rhs.Args[0].(*ast.ArrayType); ok && arr.Len == nil && isZeroLit(rhs.Args[1]) {
+					return name, s.Pos(), true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+			return "", 0, false
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(vs.Names) != 1 || len(vs.Values) != 0 {
+			return "", 0, false
+		}
+		if arr, ok := vs.Type.(*ast.ArrayType); ok && arr.Len == nil {
+			return vs.Names[0].Name, s.Pos(), true
+		}
+	}
+	return "", 0, false
+}
+
+// isZeroLit reports whether the expression is the literal 0.
+func isZeroLit(expr ast.Expr) bool {
+	lit, ok := expr.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// appendsTo reports whether the body contains `name = append(name, ...)`.
+func appendsTo(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return !found
+		}
+		if identName(as.Lhs[0]) != name {
+			return !found
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if ok && identName(call.Fun) == "append" && len(call.Args) > 0 && identName(call.Args[0]) == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sprintfRule flags per-element string formatting in loops outside the
+// presentation plane: fmt's reflection-driven path allocates per call,
+// a mismatch between formulation and machine (W8) when it sits on a hot
+// loop.
+type sprintfRule struct{}
+
+func (sprintfRule) Name() string  { return "sprintf" }
+func (sprintfRule) Waste() string { return "W8" }
+func (sprintfRule) Doc() string {
+	return "no fmt.Sprintf in hot loop bodies; hoist it or use strconv"
+}
+
+func (r sprintfRule) Check(p *Package, rep *Reporter) {
+	if inPlane(p.ImportPath, p.cfg.PresentationPlane) {
+		return
+	}
+	for _, f := range p.Files {
+		seen := make(map[token.Pos]bool)
+		inspectLoops(f, func(_ ast.Stmt, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgFunc(p, f, call, "fmt", "Sprintf", "Sprint", "Sprintln"); ok && !seen[call.Pos()] {
+					seen[call.Pos()] = true
+					rep.Report(call.Pos(),
+						"fmt.%s in a loop body allocates per element; hoist the formatting or use strconv", name)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// atomicpadRule flags adjacent atomics in one struct: independently
+// written atomics on a shared cache line ping-pong the line between cores
+// exactly like the W9 demonstrator's packed counters.
+type atomicpadRule struct{}
+
+func (atomicpadRule) Name() string  { return "atomicpad" }
+func (atomicpadRule) Waste() string { return "W9" }
+func (atomicpadRule) Doc() string {
+	return "adjacent struct atomics share a cache line; pad between them"
+}
+
+// atomicTypes are the sync/atomic value types.
+var atomicTypes = []string{
+	"Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value",
+}
+
+func (r atomicpadRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			type slot struct {
+				name   string
+				atomic bool
+				pad    bool
+				pos    token.Pos
+			}
+			slots := make([]slot, 0, len(st.Fields.List))
+			for _, field := range st.Fields.List {
+				isAtomic := isAtomicType(p, f, field.Type)
+				names := field.Names
+				if len(names) == 0 {
+					slots = append(slots, slot{name: "embedded", atomic: isAtomic, pos: field.Pos()})
+					continue
+				}
+				for _, id := range names {
+					slots = append(slots, slot{
+						name:   id.Name,
+						atomic: isAtomic,
+						pad:    id.Name == "_",
+						pos:    id.Pos(),
+					})
+				}
+			}
+			for i := 1; i < len(slots); i++ {
+				if slots[i].atomic && slots[i-1].atomic && !slots[i].pad && !slots[i-1].pad {
+					rep.Report(slots[i].pos,
+						"%s and %s are adjacent atomics on one cache line (false sharing); insert _ [56]byte padding between independently-written atomics", slots[i-1].name, slots[i].name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicType matches atomic.X and arrays of atomic.X.
+func isAtomicType(p *Package, f *ast.File, expr ast.Expr) bool {
+	if arr, ok := expr.(*ast.ArrayType); ok {
+		return isAtomicType(p, f, arr.Elt)
+	}
+	return selIsType(p, f, expr, "sync/atomic", atomicTypes...)
+}
+
+// chanbatchRule flags loops whose whole body is a single channel send: one
+// message per element is the in-process form of W7, where aggregation
+// turns per-word latency into one bulk transfer.
+type chanbatchRule struct{}
+
+func (chanbatchRule) Name() string  { return "chanbatch" }
+func (chanbatchRule) Waste() string { return "W7" }
+func (chanbatchRule) Doc() string {
+	return "loop body is a bare channel send; batch elements into one message"
+}
+
+func (r chanbatchRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		seen := make(map[token.Pos]bool)
+		inspectLoops(f, func(loop ast.Stmt, body *ast.BlockStmt) {
+			if len(body.List) != 1 || seen[loop.Pos()] {
+				return
+			}
+			if send, ok := body.List[0].(*ast.SendStmt); ok {
+				seen[loop.Pos()] = true
+				rep.Report(send.Pos(),
+					"loop sends one element per message; aggregate into a slice and send once, or justify the per-element hand-off")
+			}
+		})
+	}
+}
+
+// deferloopRule flags defer inside loops: the deferred calls pile up until
+// function return, holding resources open and burning memory while idle —
+// the W10 pattern of spending energy on work parked, not progressing.
+type deferloopRule struct{}
+
+func (deferloopRule) Name() string  { return "deferloop" }
+func (deferloopRule) Waste() string { return "W10" }
+func (deferloopRule) Doc() string {
+	return "no defer inside loops; release resources at the end of each iteration"
+}
+
+func (r deferloopRule) Check(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		seen := make(map[token.Pos]bool)
+		inspectLoops(f, func(_ ast.Stmt, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncLit:
+					// A defer inside a function literal runs at that
+					// function's return, not the loop's; out of scope.
+					return false
+				case *ast.DeferStmt:
+					if !seen[d.Pos()] {
+						seen[d.Pos()] = true
+						rep.Report(d.Pos(),
+							"defer inside a loop parks the release until function return; close at the end of the iteration instead")
+					}
+				}
+				return true
+			})
+		})
+	}
+}

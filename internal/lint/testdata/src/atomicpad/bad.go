@@ -1,0 +1,9 @@
+package atomicpad
+
+import "sync/atomic"
+
+// Bad packs two independently-written counters onto one cache line.
+type Bad struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}

@@ -1,0 +1,10 @@
+package atomicpad
+
+import "sync/atomic"
+
+// Clean pads between independently-written counters.
+type Clean struct {
+	hits   atomic.Uint64
+	_      [56]byte
+	misses atomic.Uint64
+}

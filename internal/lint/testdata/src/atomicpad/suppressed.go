@@ -1,0 +1,10 @@
+package atomicpad
+
+import "sync/atomic"
+
+// Suppressed acknowledges deliberately packed counters.
+type Suppressed struct {
+	hits atomic.Uint64
+	//lint:ignore atomicpad fixture: fields written together, never contended
+	misses atomic.Uint64
+}

@@ -1,0 +1,8 @@
+package chanbatch
+
+// Bad sends one element per message.
+func Bad(xs []int, ch chan<- int) {
+	for _, x := range xs {
+		ch <- x
+	}
+}

@@ -1,0 +1,8 @@
+package chanbatch
+
+// Clean aggregates the batch into one hand-off.
+func Clean(xs []int, ch chan<- []int) {
+	batch := make([]int, len(xs))
+	copy(batch, xs)
+	ch <- batch
+}

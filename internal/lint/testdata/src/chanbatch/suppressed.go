@@ -1,0 +1,9 @@
+package chanbatch
+
+// Suppressed acknowledges a deliberate per-element hand-off.
+func Suppressed(xs []int, ch chan<- int) {
+	for _, x := range xs {
+		//lint:ignore chanbatch fixture: consumer needs per-element delivery
+		ch <- x
+	}
+}

@@ -1,0 +1,9 @@
+package copylocks
+
+import "sync"
+
+// Bad takes a mutex by value, splitting its state from the caller's.
+func Bad(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,11 @@
+package deferloop
+
+import "sync"
+
+// Bad parks every unlock until function return.
+func Bad(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}

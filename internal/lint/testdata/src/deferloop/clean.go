@@ -1,0 +1,12 @@
+package deferloop
+
+import "sync"
+
+// Clean releases at the end of each iteration.
+func Clean(mus []*sync.Mutex, f func()) {
+	for _, mu := range mus {
+		mu.Lock()
+		f()
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,10 @@
+package goroutine
+
+var sink int
+
+// Bad fires a goroutine with no completion path.
+func Bad() {
+	go func() {
+		sink++
+	}()
+}

@@ -1,0 +1,13 @@
+package goroutine
+
+import "sync"
+
+// Clean links the goroutine to a WaitGroup.
+func Clean() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

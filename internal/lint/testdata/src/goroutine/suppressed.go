@@ -1,0 +1,9 @@
+package goroutine
+
+// Suppressed acknowledges a fire-and-forget goroutine.
+func Suppressed() {
+	//lint:ignore goroutine fixture: acknowledged fire-and-forget
+	go func() {
+		sink++
+	}()
+}

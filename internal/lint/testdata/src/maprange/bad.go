@@ -1,0 +1,10 @@
+package maprange
+
+import "fmt"
+
+// Bad emits straight out of map iteration order.
+func Bad(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

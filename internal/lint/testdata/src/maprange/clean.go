@@ -1,0 +1,18 @@
+package maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Clean sorts the keys before emitting.
+func Clean(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

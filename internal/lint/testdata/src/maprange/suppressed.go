@@ -1,0 +1,11 @@
+package maprange
+
+import "fmt"
+
+// Suppressed acknowledges the ordering leak.
+func Suppressed(m map[string]int) {
+	//lint:ignore maprange fixture: order deliberately unstable
+	for k := range m {
+		fmt.Println(k)
+	}
+}

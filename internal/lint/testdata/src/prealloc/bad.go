@@ -1,0 +1,10 @@
+package prealloc
+
+// Bad re-moves the backing array through the allocator at every doubling.
+func Bad(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+package prealloc
+
+// Clean preallocates capacity up front.
+func Clean(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package prealloc
+
+// Suppressed acknowledges growth where matches are expected to be rare.
+func Suppressed(xs []int) []int {
+	//lint:ignore prealloc fixture: matches are the rare case
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package randseed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad seeds from the clock and draws from the shared global source.
+func Bad() int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Intn(10) + rand.Intn(10)
+}

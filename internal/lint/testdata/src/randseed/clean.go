@@ -1,0 +1,9 @@
+package randseed
+
+// Clean threads an explicit seed through a local splitmix step.
+func Clean(seed uint64) uint64 {
+	seed += 0x9e3779b97f4a7c15
+	z := seed
+	z ^= z >> 30
+	return z
+}

@@ -1,0 +1,12 @@
+package randseed
+
+import (
+	//lint:ignore randseed fixture: acknowledged ambient PRNG import
+	"math/rand"
+)
+
+// Suppressed draws once from the global source, acknowledged.
+func Suppressed() int {
+	//lint:ignore randseed fixture: acknowledged global-source draw
+	return rand.Intn(10)
+}

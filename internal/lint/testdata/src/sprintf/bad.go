@@ -1,0 +1,12 @@
+package sprintf
+
+import "fmt"
+
+// Bad formats per element on the hot path.
+func Bad(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("x=%d", x))
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package sprintf
+
+import "strconv"
+
+// Clean uses strconv on the hot path.
+func Clean(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, "x="+strconv.Itoa(x))
+	}
+	return out
+}

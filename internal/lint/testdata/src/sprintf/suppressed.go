@@ -1,0 +1,13 @@
+package sprintf
+
+import "fmt"
+
+// Suppressed acknowledges error-path formatting inside a loop.
+func Suppressed(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			//lint:ignore sprintf fixture: error path, not per-element work
+			panic(fmt.Sprintf("negative input %d", x))
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package wallclock
+
+import "time"
+
+// Bad reads and waits on the host clock inside the modelled plane.
+func Bad() int64 {
+	t := time.Now()
+	time.Sleep(time.Millisecond)
+	return t.UnixNano()
+}

@@ -1,0 +1,8 @@
+package wallclock
+
+import "time"
+
+// Clean uses only duration arithmetic, which stays legal everywhere.
+func Clean(ticks int64) time.Duration {
+	return time.Duration(ticks) * time.Microsecond
+}

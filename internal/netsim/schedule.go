@@ -7,10 +7,12 @@ package netsim
 // pay for it. Each schedule is a sequence of rounds; messages within a
 // round are concurrent, rounds are separated by a synchronisation.
 
+import "math/bits"
+
 // AlltoallOneShot returns the naive all-to-all personalised exchange: all
 // p·(p−1) messages of the given size injected at once.
 func AlltoallOneShot(p int, bytes float64) [][]Transfer {
-	var round []Transfer
+	round := make([]Transfer, 0, p*(p-1))
 	for s := 0; s < p; s++ {
 		for d := 0; d < p; d++ {
 			if s != d {
@@ -26,10 +28,10 @@ func AlltoallOneShot(p int, bytes float64) [][]Transfer {
 // else with (i+r) mod p. Each round is a perfect matching (for the XOR
 // form), spreading load evenly over links.
 func AlltoallPairwise(p int, bytes float64) [][]Transfer {
-	var rounds [][]Transfer
+	rounds := make([][]Transfer, 0, p-1)
 	pow2 := p&(p-1) == 0
 	for r := 1; r < p; r++ {
-		var round []Transfer
+		round := make([]Transfer, 0, p)
 		for i := 0; i < p; i++ {
 			var partner int
 			if pow2 {
@@ -50,9 +52,9 @@ func AlltoallPairwise(p int, bytes float64) [][]Transfer {
 // forwards one block to its right neighbour — only nearest-neighbour links
 // are ever used, the topology-friendly schedule.
 func AllgatherRing(p int, bytes float64) [][]Transfer {
-	var rounds [][]Transfer
+	rounds := make([][]Transfer, 0, p-1)
 	for r := 0; r < p-1; r++ {
-		var round []Transfer
+		round := make([]Transfer, 0, p)
 		for i := 0; i < p; i++ {
 			round = append(round, Transfer{Src: i, Dst: (i + 1) % p, Bytes: bytes})
 		}
@@ -65,9 +67,9 @@ func AllgatherRing(p int, bytes float64) [][]Transfer {
 // round k, every rank that already has the data sends to the rank at
 // distance 2^k.
 func BroadcastBinomialRounds(p int, bytes float64) [][]Transfer {
-	var rounds [][]Transfer
+	rounds := make([][]Transfer, 0, bits.Len(uint(p-1)))
 	for dist := 1; dist < p; dist *= 2 {
-		var round []Transfer
+		round := make([]Transfer, 0, dist)
 		for src := 0; src < dist && src < p; src++ {
 			dst := src + dist
 			if dst < p {

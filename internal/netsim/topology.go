@@ -92,7 +92,7 @@ func (t *Torus2D) Path(src, dst int) []int {
 	}
 	sr, sc := src/t.Cols, src%t.Cols
 	dr, dc := dst/t.Cols, dst%t.Cols
-	var path []int
+	path := make([]int, 0, t.Cols/2+t.Rows/2)
 	// X dimension (columns) first.
 	for sc != dc {
 		right := (dc - sc + t.Cols) % t.Cols

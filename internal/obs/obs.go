@@ -76,8 +76,13 @@ const (
 // Histogram counts observations into fixed log-scale buckets and tracks
 // their sum and count. The zero value is ready to use.
 type Histogram struct {
-	counts  [histBuckets]atomic.Uint64
+	counts [histBuckets]atomic.Uint64
+	// The bucket array, the sum, and the count are all written on every
+	// Observe; without padding they would share cache lines and ping-pong
+	// between recording cores — the W9 waste this lab models.
+	_       [56]byte
 	sumBits atomic.Uint64
+	_       [56]byte
 	count   atomic.Uint64
 }
 

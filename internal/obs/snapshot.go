@@ -1,9 +1,9 @@
 package obs
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -176,16 +176,17 @@ func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
 // String renders the snapshot compactly for logs: sorted "name=value"
 // pairs, histograms as count/mean.
 func (s Snapshot) String() string {
-	var parts []string
+	parts := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 	for _, k := range names(s.Counters) {
-		parts = append(parts, fmt.Sprintf("%s=%d", k, s.Counters[k]))
+		parts = append(parts, k+"="+strconv.FormatInt(s.Counters[k], 10))
 	}
 	for _, k := range names(s.Gauges) {
-		parts = append(parts, fmt.Sprintf("%s=%.4g", k, s.Gauges[k]))
+		parts = append(parts, k+"="+strconv.FormatFloat(s.Gauges[k], 'g', 4, 64))
 	}
 	for _, k := range names(s.Histograms) {
 		h := s.Histograms[k]
-		parts = append(parts, fmt.Sprintf("%s=n%d/mean%.4g", k, h.Count, h.Mean()))
+		parts = append(parts, k+"=n"+strconv.FormatUint(h.Count, 10)+
+			"/mean"+strconv.FormatFloat(h.Mean(), 'g', 4, 64))
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, " ")

@@ -175,7 +175,7 @@ func (b Breakdown) String() string {
 		c Category
 		d time.Duration
 	}
-	var items []kv
+	items := make([]kv, 0, len(Categories()))
 	for _, c := range Categories() {
 		if b.Total[c] > 0 {
 			items = append(items, kv{c, b.Total[c]})

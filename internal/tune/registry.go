@@ -2,6 +2,7 @@ package tune
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"tenways/internal/chaos"
@@ -82,7 +83,7 @@ func Tunables(quick bool) []Tunable {
 // ("W1-block"), its experiment prefix ("W1"), and the remedied waste mode
 // ("F4-chunk" remedies W4) all match.
 func ByID(id string, quick bool) (Tunable, error) {
-	var known []string
+	known := make([]string, 0, len(Tunables(quick)))
 	for _, t := range Tunables(quick) {
 		prefix, _, _ := strings.Cut(t.ID, "-")
 		if strings.EqualFold(t.ID, id) || strings.EqualFold(t.ModeID, id) || strings.EqualFold(prefix, id) {
@@ -210,7 +211,7 @@ func f13Replication(quick bool) Tunable {
 	if quick {
 		n, p = 2048, 512
 	}
-	var cs []int
+	cs := make([]int, 0, bits.Len(uint(kernels.MaxReplication(p))))
 	for c := 1; c <= kernels.MaxReplication(p); c *= 2 {
 		cs = append(cs, c)
 	}

@@ -226,7 +226,7 @@ func (s *Space) Points() []Point {
 // Neighbors returns the points one index step away from p along each axis
 // (the hill-climbing neighbourhood), in deterministic order.
 func (s *Space) Neighbors(p Point) []Point {
-	var out []Point
+	out := make([]Point, 0, 2*len(s.axes))
 	for d := range s.axes {
 		if p[d] > 0 {
 			q := p.Clone()
