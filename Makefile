@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-json quick clean
+.PHONY: all build test lint race bench bench-json quick smoke clean
 
 all: test
 
@@ -42,6 +42,11 @@ bench-json:
 	$(GO) run ./cmd/wastelab -run all -quick -parallel 4 -json LAB_$$(date +%Y-%m-%d).json > /dev/null
 	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson -lab LAB_$$(date +%Y-%m-%d).json > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote LAB_$$(date +%Y-%m-%d).json and BENCH_$$(date +%Y-%m-%d).json"
+
+# Daemon smoke test: build cmd/wastelabd, start it, probe /healthz, run one
+# quick experiment twice, and assert the repeat is served from the cache.
+smoke: build
+	sh scripts/smoke-wastelabd.sh
 
 # Fast iteration: shrunken sweeps.
 quick:

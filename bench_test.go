@@ -78,6 +78,7 @@ func BenchmarkF24Straggler(b *testing.B)         { benchExperiment(b, "F24") }
 func BenchmarkF25Checkpoint(b *testing.B)        { benchExperiment(b, "F25") }
 func BenchmarkT9Autotune(b *testing.B)           { benchExperiment(b, "T9") }
 func BenchmarkF26TunerConvergence(b *testing.B)  { benchExperiment(b, "F26") }
+func BenchmarkT12DaemonSim(b *testing.B)         { benchExperiment(b, "T12") }
 
 // --- Measured plane: the wasteful/remedied pairs on the host CPU ---
 

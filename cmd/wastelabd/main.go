@@ -1,0 +1,99 @@
+// Command wastelabd serves the tenways lab over HTTP: a long-running
+// daemon exposing the experiment registry, the diagnosis engine, and the
+// autotuner to other systems, with the repo's own remedies composed on the
+// request path (sharded result cache, request coalescing, bounded
+// admission with load shedding, per-request deadlines) and /metrics
+// self-measurement.
+//
+// Usage:
+//
+//	wastelabd -addr :8606 -parallel 4 -cache-size 1024
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /metrics          daemon metrics snapshot (?format=text)
+//	GET  /v1/experiments   experiment catalog
+//	GET  /v1/run           ?id=T1 [&machine=][&seed=][&quick=][&format=][&timeout=]
+//	POST /v1/diagnose      {"workers":[{"compute":4,"sync-wait":5}]}
+//	GET  /v1/tune          ?id=W1-block [&machine=][&quick=]
+//
+// The daemon exits 0 on SIGINT/SIGTERM after draining in-flight requests,
+// 1 on listener failure, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tenways/internal/core"
+	"tenways/internal/machine"
+	"tenways/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8606", "listen address")
+		parallel    = flag.Int("parallel", 4, "lab runs executing concurrently")
+		queueDepth  = flag.Int("queue", 64, "callers allowed to wait for a run slot before 429s")
+		cacheSize   = flag.Int("cache-size", 1024, "result-cache capacity in entries")
+		machineName = flag.String("machine", "petascale2009", "default machine preset for requests that pick none")
+		reqTimeout  = flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "cap on the per-request ?timeout= parameter")
+		drain       = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if machine.Preset(*machineName) == nil {
+		fmt.Fprintf(os.Stderr, "wastelabd: unknown machine preset %q\n", *machineName)
+		os.Exit(2)
+	}
+
+	srv := serve.New(core.NewLab(), serve.Options{
+		Parallel:       *parallel,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		Machine:        *machineName,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The listener goroutine reports back over errc; shutdown drains it so
+	// the goroutine never outlives main.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "wastelabd: listening on %s (parallel=%d queue=%d cache=%d machine=%s)\n",
+		*addr, *parallel, *queueDepth, *cacheSize, *machineName)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "wastelabd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "wastelabd: draining")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wastelabd: shutdown: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "wastelabd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -202,5 +202,6 @@ func allExperiments() []Experiment {
 		{ID: "T10", Title: "Lab self-profile: per-experiment work metrics", Run: runT10, Measured: true},
 		{ID: "F27", Title: "Parallel runner speedup vs worker count", Run: runF27, Measured: true},
 		{ID: "T11", Title: "wastevet self-audit: rule-to-waste-mode map and finding counts", Run: runT11},
+		{ID: "T12", Title: "wastelabd self-measurement: request-path policies vs daemon waste modes", Run: runT12},
 	}
 }

@@ -100,7 +100,8 @@ func DefaultConfig() Config {
 	return Config{
 		MeasuredPlane: []string{
 			"internal/trace", "internal/sched", "internal/obs",
-			"internal/chaos", "internal/core", "cmd/", "examples/",
+			"internal/chaos", "internal/core", "internal/serve",
+			"cmd/", "examples/",
 		},
 		PresentationPlane: []string{
 			"internal/report", "internal/core", "internal/waste",

@@ -165,6 +165,7 @@ func (t *Timer) Time(fn func()) { stop := t.Start(); fn(); stop() }
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	sharded  map[string]*ShardedCounter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
@@ -173,6 +174,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		sharded:  make(map[string]*ShardedCounter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}

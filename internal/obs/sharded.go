@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counterSlot is one shard of a ShardedCounter: a single atomic padded out
+// to its own cache line so slots written by different cores never share a
+// line (the W9 false-sharing waste this lab models — and, per perfbook's
+// per-CPU statistical counters, the remedy the daemon's hot-path counters
+// need to stay off the profile).
+type counterSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a statistically sharded counter in the style of
+// perfbook's per-CPU counters: writers add to a slot that is, with high
+// probability, private to their P, so concurrent increments from many
+// cores do not ping-pong one cache line the way a single atomic does.
+// Reads (Value) sum all slots and are comparatively expensive — exactly
+// the read-rarely/write-often trade the daemon's request counters want.
+//
+// Slot affinity rides on sync.Pool, whose Get prefers a per-P private
+// item: a goroutine running on P usually gets the slot last used on P,
+// with no unsafe, no runtime linkname, and graceful degradation (a missed
+// affinity is still correct, just a shared line for that one add). The
+// zero value is ready to use.
+type ShardedCounter struct {
+	mu    sync.Mutex
+	slots []*counterSlot // every slot ever handed out; Value sums these
+	pool  sync.Pool
+}
+
+// Add adds n to the counter.
+func (c *ShardedCounter) Add(n int64) {
+	s, _ := c.pool.Get().(*counterSlot)
+	if s == nil {
+		s = &counterSlot{}
+		c.mu.Lock()
+		c.slots = append(c.slots, s)
+		c.mu.Unlock()
+	}
+	s.v.Add(n)
+	c.pool.Put(s)
+}
+
+// Inc adds one.
+func (c *ShardedCounter) Inc() { c.Add(1) }
+
+// Value returns the current count: the sum over all slots. The sum is
+// per-slot-atomic, not globally atomic — concurrent adds may or may not be
+// included, the same guarantee a single atomic read gives a concurrent
+// increment.
+func (c *ShardedCounter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, s := range c.slots {
+		total += s.v.Load()
+	}
+	return total
+}
+
+// Slots returns the number of shards currently backing the counter (it
+// grows toward the number of Ps that have written, and can grow past it
+// when the GC clears the pool's caches).
+func (c *ShardedCounter) Slots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}
+
+// Sharded returns the named sharded counter, creating it on first use.
+// Snapshots fold sharded counters into the same Counters map as plain
+// ones, so consumers see one namespace either way; pick Sharded for
+// counters written from many goroutines at once (the daemon's request
+// path) and Counter for everything else.
+func (r *Registry) Sharded(name string) *ShardedCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.sharded[name]
+	if !ok {
+		c = &ShardedCounter{}
+		r.sharded[name] = c
+	}
+	return c
+}

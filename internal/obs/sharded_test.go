@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterBasics(t *testing.T) {
+	var c ShardedCounter
+	if c.Value() != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	c.Inc()
+	c.Add(41)
+	if v := c.Value(); v != 42 {
+		t.Fatalf("Value = %d, want 42", v)
+	}
+	if c.Slots() < 1 {
+		t.Fatal("expected at least one slot after writes")
+	}
+}
+
+func TestShardedCounterConcurrentSum(t *testing.T) {
+	var c ShardedCounter
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := c.Value(); v != goroutines*perG {
+		t.Fatalf("Value = %d, want %d (no lost updates)", v, goroutines*perG)
+	}
+}
+
+func TestRegistryShardedSnapshotFoldsIntoCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Sharded("serve.requests").Add(7)
+	r.Counter("serve.errors").Add(2)
+	s := r.Snapshot()
+	if got := s.Counter("serve.requests"); got != 7 {
+		t.Fatalf("snapshot serve.requests = %d, want 7", got)
+	}
+	if got := s.Counter("serve.errors"); got != 2 {
+		t.Fatalf("snapshot serve.errors = %d, want 2", got)
+	}
+	// Same instrument handed back on re-request.
+	if r.Sharded("serve.requests") != r.Sharded("serve.requests") {
+		t.Fatal("Sharded should return a stable pointer")
+	}
+	// Sharded and plain counters under one name sum rather than shadow.
+	r.Counter("both").Add(1)
+	r.Sharded("both").Add(2)
+	if got := r.Snapshot().Counter("both"); got != 3 {
+		t.Fatalf("merged name = %d, want 3", got)
+	}
+}
+
+func TestShardedSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Sharded("x").Add(5)
+	b.Sharded("x").Add(6)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if got := m.Counter("x"); got != 11 {
+		t.Fatalf("merged x = %d, want 11", got)
+	}
+}
+
+// The benchmark pair the ROADMAP asks for: a single atomic counter vs the
+// per-CPU sharded one, incremented from every P at once. The single atomic
+// serialises every increment through one cache line (W5/W9 in miniature);
+// the sharded counter keeps each P on its own padded line.
+
+func BenchmarkCounterParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkShardedCounterParallel(b *testing.B) {
+	var c ShardedCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}

@@ -48,6 +48,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	sharded := make(map[string]*ShardedCounter, len(r.sharded))
+	for k, v := range r.sharded {
+		sharded[k] = v
+	}
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
@@ -65,6 +69,16 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Counters = make(map[string]int64)
 			}
 			s.Counters[k] = v
+		}
+	}
+	// Sharded counters fold into the same namespace: a snapshot consumer
+	// should not care how a counter was implemented.
+	for k, c := range sharded {
+		if v := c.Value(); v != 0 {
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
+			}
+			s.Counters[k] += v
 		}
 	}
 	for k, g := range gauges {

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by acquire when the wait queue is at capacity;
+// the handler maps it to 429 + Retry-After. Rejecting at the door instead
+// of queueing without bound is the daemon applying the lab's own W2/W10
+// advice to itself: work that cannot start soon is waste-in-waiting.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// admission is the bounded two-stage gate in front of the lab: `parallel`
+// slots run, up to `queueDepth` callers wait for a slot, and everyone past
+// that is rejected immediately.
+type admission struct {
+	slots chan struct{}
+	// waiting counts callers parked between the fast path and a slot; it
+	// is the /metrics queue-depth gauge and the overflow test's probe.
+	waiting atomic.Int64
+	depth   int64
+}
+
+func newAdmission(parallel, queueDepth int) *admission {
+	return &admission{slots: make(chan struct{}, parallel), depth: int64(queueDepth)}
+}
+
+// acquire obtains a run slot, waiting in the bounded queue if necessary.
+// It returns the release function and the time spent waiting, errQueueFull
+// when the queue is at capacity, or ctx.Err() when the caller's deadline
+// expires while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, 0, nil
+	default:
+	}
+	if a.waiting.Add(1) > a.depth {
+		a.waiting.Add(-1)
+		return nil, 0, errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, time.Since(start), nil
+	case <-ctx.Done():
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// queued returns the current number of waiting callers.
+func (a *admission) queued() int64 { return a.waiting.Load() }
+
+// running returns the number of occupied run slots.
+func (a *admission) running() int { return len(a.slots) }

@@ -1,0 +1,151 @@
+// Package serve is the lab-as-a-service layer: a long-running HTTP/JSON
+// daemon (cmd/wastelabd) that exposes the experiment registry, the
+// diagnosis engine, and the autotuner to other systems — the paper
+// abstract's "interactions with users or other systems" made first-class.
+//
+// The request path composes the repo's own remedies instead of the naive
+// stack it warns about:
+//
+//   - a sharded, LRU-bounded, generation-keyed result cache
+//     (internal/cache) keyed machine+experiment+params+seed, so repeated
+//     identical requests are W2 (redundant work) that never happens twice;
+//   - a hand-rolled singleflight so N concurrent identical requests
+//     coalesce into one lab evaluation (redundant *concurrent* work);
+//   - a bounded admission queue feeding the underlying Lab: Parallel slots
+//     run, QueueDepth callers wait, and everyone past that is rejected
+//     early with 429 + Retry-After rather than queued without bound —
+//     load shedding applied to ourselves;
+//   - per-request timeouts threaded through context;
+//   - per-CPU sharded obs counters on the hot path (queue depth, wait
+//     time, hit ratio, coalesce count, in-flight gauge) so observability
+//     itself stays off the profile (W5/W9).
+//
+// The same policies are modeled deterministically in virtual time by
+// internal/serve/sim, which experiment T12 uses to render the daemon's
+// own waste modes with the suite's T-tables.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"tenways/internal/cache"
+	"tenways/internal/core"
+	"tenways/internal/machine"
+	"tenways/internal/obs"
+	"tenways/internal/tune"
+)
+
+// Lab is the slice of core.Lab the daemon serves; *core.Lab implements it,
+// and tests substitute counting stubs.
+type Lab interface {
+	// Experiments lists the registered experiments in registration order.
+	Experiments() []core.Experiment
+	// Get resolves an experiment id (case-insensitively).
+	Get(id string) (core.Experiment, error)
+	// RunContext executes one experiment under ctx.
+	RunContext(ctx context.Context, id string, cfg core.Config) (core.Output, error)
+}
+
+// Options parameterises a Server. The zero value selects the defaults.
+type Options struct {
+	// Parallel bounds the lab runs executing concurrently; <= 0 selects 4.
+	Parallel int
+	// QueueDepth bounds the callers waiting for a slot beyond the running
+	// ones; past it requests are rejected with 429. <= 0 selects 64.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries; <= 0 selects 1024.
+	CacheSize int
+	// DefaultTimeout bounds a request that does not pick its own timeout;
+	// <= 0 selects 2 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request ?timeout= parameter; <= 0 selects 10
+	// minutes.
+	MaxTimeout time.Duration
+	// Machine is the default machine preset name for requests that do not
+	// pick one; empty selects petascale2009.
+	Machine string
+	// Obs receives the daemon's own metrics (the serve.* instruments
+	// rendered by /metrics); nil creates a fresh registry.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallel <= 0 {
+		o.Parallel = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.Machine == "" {
+		o.Machine = "petascale2009"
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
+	}
+	return o
+}
+
+// Server is the daemon state: the lab, the result cache, the in-flight
+// coalescing table, the admission queue, and the instruments. Create one
+// with New and mount Handler on an http.Server.
+type Server struct {
+	lab       Lab
+	opts      Options
+	reg       *obs.Registry
+	cache     *cache.Cache[any]
+	flight    *flight
+	adm       *admission
+	tuneCache *tune.Cache
+
+	// Hot-path instruments, resolved once so request handling touches only
+	// atomics (and the sharded ones mostly core-private lines).
+	reqs, hits, misses, coalesced, rejected, timeouts, errs *obs.ShardedCounter
+	queueWait, runSec                                       *obs.Timer
+}
+
+// New returns a Server over the lab. A nil lab selects core.NewLab().
+func New(lab Lab, opts Options) *Server {
+	if lab == nil {
+		lab = core.NewLab()
+	}
+	opts = opts.withDefaults()
+	reg := opts.Obs
+	return &Server{
+		lab:       lab,
+		opts:      opts,
+		reg:       reg,
+		cache:     cache.New[any](opts.CacheSize, 0),
+		flight:    newFlight(),
+		adm:       newAdmission(opts.Parallel, opts.QueueDepth),
+		tuneCache: tune.NewCache(),
+		reqs:      reg.Sharded("serve.requests"),
+		hits:      reg.Sharded("serve.cache_hits"),
+		misses:    reg.Sharded("serve.cache_misses"),
+		coalesced: reg.Sharded("serve.coalesced"),
+		rejected:  reg.Sharded("serve.rejected"),
+		timeouts:  reg.Sharded("serve.timeouts"),
+		errs:      reg.Sharded("serve.errors"),
+		queueWait: reg.Timer("serve.queue_wait_seconds"),
+		runSec:    reg.Timer("serve.run_seconds"),
+	}
+}
+
+// Metrics returns the daemon's registry (the one /metrics renders).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// InvalidateCache bumps the result cache's generation, making every cached
+// result a miss (O(1); stale entries are reclaimed lazily).
+func (s *Server) InvalidateCache() { s.cache.Bump() }
+
+// defaultMachine resolves the server's default machine spec.
+func (s *Server) defaultMachine() *machine.Spec { return machine.Preset(s.opts.Machine) }

@@ -1,0 +1,338 @@
+// Package sim is the daemon turned experiment: a deterministic,
+// closed-loop load generator that drives the wastelabd request-path
+// policies — result cache, request coalescing, bounded admission — in
+// virtual time and measures the waste modes the daemon itself exhibits:
+// idle workers (W10), queueing overhead (W3/W7 territory), and redundant
+// work avoided or not by the cache (W2).
+//
+// The policies are the daemon's own: the cache is the very
+// internal/cache implementation the server mounts (single-threaded use is
+// deterministic), and the admission rule — run up to Workers, queue up to
+// QueueDepth, reject the rest — mirrors serve.admission decision for
+// decision. What differs is the clock: events advance virtual time under
+// a seeded event loop, so a fixed seed reproduces the run byte for byte
+// regardless of host scheduling — the property experiment T12's tables
+// need and a wall-clock benchmark cannot give.
+//
+// Arrivals are closed-loop and bursty: each simulated client issues a
+// request, waits for its completion (or rejection), thinks for a seeded
+// exponential time perturbed by a chaos.Bursty jitter injector — the
+// abstract's "interactions with users or other systems" — and issues the
+// next one.
+package sim
+
+import (
+	"container/heap"
+
+	"tenways/internal/cache"
+	"tenways/internal/chaos"
+	"tenways/internal/workload"
+)
+
+// Job is one entry of the request population: a cache key, the virtual
+// service seconds one evaluation costs, and a popularity weight.
+type Job struct {
+	Key     string
+	Service float64
+	Weight  float64
+}
+
+// Config parameterises one simulated daemon run.
+type Config struct {
+	// Seed drives every random draw; same seed, same Stats.
+	Seed uint64
+	// Clients is the closed-loop population size.
+	Clients int
+	// Requests bounds the total requests issued across all clients.
+	Requests int
+	// Workers is the admission parallelism (serve.Options.Parallel).
+	Workers int
+	// QueueDepth bounds the waiters (serve.Options.QueueDepth).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries; 0 disables caching.
+	CacheSize int
+	// Coalesce enables request coalescing of identical in-flight keys.
+	Coalesce bool
+	// Catalog is the request population; draws are weighted by popularity.
+	Catalog []Job
+	// ThinkMean is the mean think time between a client's requests.
+	ThinkMean float64
+	// BurstFrac is the chaos.Bursty jitter fraction added to think times
+	// (0 disables the bursts and leaves plain exponential thinking).
+	BurstFrac float64
+	// RetryAfter is the client back-off after a 429, in virtual seconds.
+	RetryAfter float64
+}
+
+// Stats is the outcome of one simulated run. All times are virtual
+// seconds.
+type Stats struct {
+	Issued    int // requests issued, rejected ones included
+	Served    int // requests answered (from cache, coalesced, or run)
+	Rejected  int // 429s: admission queue full
+	CacheHits int
+	Coalesced int
+	Runs      int // underlying lab evaluations performed
+	Makespan  float64
+	WaitSum   float64 // queue wait of admitted runs
+	BusySum   float64 // worker-busy virtual seconds
+}
+
+// IdleFraction returns the fraction of worker capacity spent idle.
+func (s Stats) IdleFraction(workers int) float64 {
+	cap := float64(workers) * s.Makespan
+	if cap <= 0 {
+		return 0
+	}
+	f := 1 - s.BusySum/cap
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// HitRatio returns cache hits per issued request.
+func (s Stats) HitRatio() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Issued)
+}
+
+// MeanWait returns the mean queue wait per underlying run.
+func (s Stats) MeanWait() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return s.WaitSum / float64(s.Runs)
+}
+
+// Throughput returns served requests per virtual second.
+func (s Stats) Throughput() float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	return float64(s.Served) / s.Makespan
+}
+
+// event kinds.
+const (
+	evIssue    = iota // a client issues its next request
+	evComplete        // a running evaluation finishes
+)
+
+// event is one entry of the virtual-time event queue. seq breaks time ties
+// deterministically (FIFO in schedule order).
+type event struct {
+	t      float64
+	seq    uint64
+	kind   int
+	client int
+	fl     *flightState // evComplete: the finishing flight
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// flightState is one admitted-or-queued evaluation: the leading client
+// plus every client coalesced onto it.
+type flightState struct {
+	job      Job
+	leader   int
+	waiters  []int
+	enqueued float64 // when it entered the admission queue
+}
+
+// sim is the mutable world of one Simulate call.
+type sim struct {
+	cfg     Config
+	rng     *workload.Rand
+	jitter  *chaos.Jitter
+	events  eventHeap
+	seq     uint64
+	now     float64
+	cache   *cache.Cache[struct{}]
+	inUse   map[string]*flightState // Coalesce: key -> in-flight evaluation
+	queue   []*flightState          // admission FIFO
+	busy    int
+	cumW    []float64 // cumulative catalog weights for weighted draws
+	totW    float64
+	stats   Stats
+	stopped bool // request budget exhausted; clients retire as they finish
+}
+
+// Simulate runs the configured closed loop to completion and returns its
+// statistics. Two calls with equal Config produce identical Stats.
+func Simulate(cfg Config) Stats {
+	if cfg.Clients <= 0 || cfg.Requests <= 0 || cfg.Workers <= 0 || len(cfg.Catalog) == 0 {
+		return Stats{}
+	}
+	if cfg.ThinkMean <= 0 {
+		cfg.ThinkMean = 0.05
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 4 * cfg.ThinkMean
+	}
+	s := &sim{
+		cfg:   cfg,
+		rng:   workload.NewRand(cfg.Seed),
+		inUse: make(map[string]*flightState),
+	}
+	if cfg.BurstFrac > 0 {
+		s.jitter = chaos.NewJitter(chaos.Bursty, cfg.BurstFrac, cfg.Seed+1, cfg.Clients)
+	}
+	if cfg.CacheSize > 0 {
+		// The daemon's own cache implementation, driven in virtual time.
+		s.cache = cache.New[struct{}](cfg.CacheSize, 1)
+	}
+	s.cumW = make([]float64, len(cfg.Catalog))
+	for i, j := range cfg.Catalog {
+		w := j.Weight
+		if w <= 0 {
+			w = 1
+		}
+		s.totW += w
+		s.cumW[i] = s.totW
+	}
+	// Clients start staggered by their first think time.
+	for c := 0; c < cfg.Clients; c++ {
+		s.schedule(s.think(c), evIssue, c, nil)
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.t
+		switch e.kind {
+		case evIssue:
+			s.issue(e.client)
+		case evComplete:
+			s.complete(e.fl)
+		}
+	}
+	s.stats.Makespan = s.now
+	return s.stats
+}
+
+func (s *sim) schedule(t float64, kind, client int, fl *flightState) {
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, kind: kind, client: client, fl: fl})
+}
+
+// think returns the absolute virtual time of the client's next issue.
+func (s *sim) think(client int) float64 {
+	d := s.cfg.ThinkMean * s.rng.Exp()
+	if s.jitter != nil {
+		d += s.jitter.Delay(client, s.now, s.cfg.ThinkMean)
+	}
+	return s.now + d
+}
+
+// draw picks a job by popularity weight.
+func (s *sim) draw() Job {
+	r := s.rng.Float64() * s.totW
+	for i, c := range s.cumW {
+		if r < c {
+			return s.cfg.Catalog[i]
+		}
+	}
+	return s.cfg.Catalog[len(s.cfg.Catalog)-1]
+}
+
+// clientDone schedules the client's next request, or retires it when the
+// request budget is spent.
+func (s *sim) clientDone(client int) {
+	if s.stopped {
+		return
+	}
+	s.schedule(s.think(client), evIssue, client, nil)
+}
+
+// issue is the daemon request path in virtual time: cache, coalesce,
+// admission, queue, reject — the same decision order as serve.Server.
+func (s *sim) issue(client int) {
+	if s.stats.Issued >= s.cfg.Requests {
+		s.stopped = true
+		return
+	}
+	s.stats.Issued++
+	job := s.draw()
+
+	// Result cache fast path.
+	if s.cache != nil {
+		if _, ok := s.cache.Get(job.Key); ok {
+			s.stats.CacheHits++
+			s.stats.Served++
+			s.clientDone(client)
+			return
+		}
+	}
+	// Coalesce onto an identical in-flight evaluation.
+	if s.cfg.Coalesce {
+		if fl, ok := s.inUse[job.Key]; ok {
+			fl.waiters = append(fl.waiters, client)
+			s.stats.Coalesced++
+			return
+		}
+	}
+	fl := &flightState{job: job, leader: client}
+	if s.cfg.Coalesce {
+		s.inUse[job.Key] = fl
+	}
+	// Admission: run, queue, or reject.
+	switch {
+	case s.busy < s.cfg.Workers:
+		s.start(fl)
+	case len(s.queue) < s.cfg.QueueDepth:
+		fl.enqueued = s.now
+		s.queue = append(s.queue, fl)
+	default:
+		if s.cfg.Coalesce {
+			delete(s.inUse, job.Key)
+		}
+		s.stats.Rejected++
+		// The rejected client honours Retry-After and comes back.
+		if !s.stopped {
+			s.schedule(s.now+s.cfg.RetryAfter, evIssue, client, nil)
+		}
+	}
+}
+
+// start begins one evaluation on a free worker.
+func (s *sim) start(fl *flightState) {
+	s.busy++
+	s.stats.Runs++
+	s.stats.BusySum += fl.job.Service
+	s.schedule(s.now+fl.job.Service, evComplete, fl.leader, fl)
+}
+
+// complete finishes an evaluation: publish to the cache, answer the leader
+// and every coalesced waiter, then hand the freed worker to the queue.
+func (s *sim) complete(fl *flightState) {
+	s.busy--
+	if s.cfg.Coalesce {
+		delete(s.inUse, fl.job.Key)
+	}
+	if s.cache != nil {
+		s.cache.Put(fl.job.Key, struct{}{})
+	}
+	s.stats.Served += 1 + len(fl.waiters)
+	s.clientDone(fl.leader)
+	for _, c := range fl.waiters {
+		s.clientDone(c)
+	}
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.stats.WaitSum += s.now - next.enqueued
+		s.start(next)
+	}
+}

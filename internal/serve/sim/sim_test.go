@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func catalog(n int) []Job {
+	jobs := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		// Zipf-ish popularity: job 0 is requested most; heavier jobs rarer.
+		jobs = append(jobs, Job{
+			Key:     "job-" + strconv.Itoa(i),
+			Service: 0.2 + 0.05*float64(i),
+			Weight:  1 / float64(i+1),
+		})
+	}
+	return jobs
+}
+
+func baseConfig() Config {
+	return Config{
+		Seed:       2009,
+		Clients:    32,
+		Requests:   2000,
+		Workers:    4,
+		QueueDepth: 8,
+		CacheSize:  64,
+		Coalesce:   true,
+		Catalog:    catalog(24),
+		ThinkMean:  0.05,
+		BurstFrac:  0.5,
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(baseConfig())
+	b := Simulate(baseConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different stats:\n%+v\n%+v", a, b)
+	}
+	if a.Issued == 0 || a.Served == 0 || a.Runs == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+}
+
+func TestSimulateSeedMatters(t *testing.T) {
+	a := Simulate(baseConfig())
+	cfg := baseConfig()
+	cfg.Seed = 7
+	b := Simulate(cfg)
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("different seeds produced identical stats: %+v", a)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	s := Simulate(baseConfig())
+	// Every issued request is eventually served, rejected, or (at shutdown)
+	// still parked as a coalesced waiter behind a flight that finished after
+	// the budget ran out — those are answered by complete(), so:
+	if s.Served+s.Rejected > s.Issued {
+		t.Fatalf("served %d + rejected %d exceeds issued %d", s.Served, s.Rejected, s.Issued)
+	}
+	if s.CacheHits+s.Coalesced+s.Runs > s.Issued {
+		t.Fatalf("hits %d + coalesced %d + runs %d exceeds issued %d",
+			s.CacheHits, s.Coalesced, s.Runs, s.Issued)
+	}
+	if s.Makespan <= 0 || s.BusySum <= 0 {
+		t.Fatalf("degenerate times: %+v", s)
+	}
+	if f := s.IdleFraction(4); f < 0 || f >= 1 {
+		t.Fatalf("idle fraction %v out of range", f)
+	}
+}
+
+func TestCacheReducesRuns(t *testing.T) {
+	with := Simulate(baseConfig())
+	cfg := baseConfig()
+	cfg.CacheSize = 0
+	without := Simulate(cfg)
+	if with.CacheHits == 0 {
+		t.Fatalf("cache enabled but no hits: %+v", with)
+	}
+	if without.CacheHits != 0 {
+		t.Fatalf("cache disabled but hits recorded: %+v", without)
+	}
+	if with.Runs >= without.Runs {
+		t.Fatalf("cache did not reduce runs: with=%d without=%d", with.Runs, without.Runs)
+	}
+}
+
+func TestCoalesceReducesRuns(t *testing.T) {
+	// No cache isolates coalescing's contribution; a tiny catalog makes
+	// concurrent identical requests common.
+	cfg := baseConfig()
+	cfg.CacheSize = 0
+	cfg.Catalog = catalog(3)
+	with := Simulate(cfg)
+	cfg.Coalesce = false
+	without := Simulate(cfg)
+	if with.Coalesced == 0 {
+		t.Fatalf("coalescing enabled but never used: %+v", with)
+	}
+	if with.Runs >= without.Runs {
+		t.Fatalf("coalescing did not reduce runs: with=%d without=%d", with.Runs, without.Runs)
+	}
+}
+
+func TestSmallQueueRejects(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheSize = 0
+	cfg.Coalesce = false
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	s := Simulate(cfg)
+	if s.Rejected == 0 {
+		t.Fatalf("overloaded single worker never rejected: %+v", s)
+	}
+}
+
+func TestMoreWorkersLessIdlePerRequest(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheSize = 0
+	cfg.Coalesce = false
+	one := Simulate(Config{Seed: cfg.Seed, Clients: cfg.Clients, Requests: cfg.Requests,
+		Workers: 1, QueueDepth: 64, Catalog: cfg.Catalog, ThinkMean: cfg.ThinkMean})
+	eight := Simulate(Config{Seed: cfg.Seed, Clients: cfg.Clients, Requests: cfg.Requests,
+		Workers: 8, QueueDepth: 64, Catalog: cfg.Catalog, ThinkMean: cfg.ThinkMean})
+	if eight.Makespan >= one.Makespan {
+		t.Fatalf("8 workers not faster than 1: %v >= %v", eight.Makespan, one.Makespan)
+	}
+	if eight.MeanWait() >= one.MeanWait() {
+		t.Fatalf("8 workers not less queueing than 1: %v >= %v", eight.MeanWait(), one.MeanWait())
+	}
+}
+
+func TestZeroConfig(t *testing.T) {
+	if s := Simulate(Config{}); s != (Stats{}) {
+		t.Fatalf("zero config should be a no-op, got %+v", s)
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Smoke-test the wastelabd daemon end to end: start it on a scratch port,
+# probe /healthz, run one quick experiment twice, and assert the repeat is
+# a cache hit. Exercises the real binary the way CI's smoke job does.
+set -eu
+
+ADDR="${WASTELABD_ADDR:-127.0.0.1:18606}"
+BIN="${WASTELABD_BIN:-./wastelabd.smoke}"
+LOG="${WASTELABD_LOG:-wastelabd.smoke.log}"
+
+go build -o "$BIN" ./cmd/wastelabd
+
+"$BIN" -addr "$ADDR" -parallel 2 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$BIN"' EXIT INT TERM
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: daemon never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "smoke: /healthz ok"
+
+curl -sf "http://$ADDR/v1/experiments" | grep -q '"T12"' || {
+    echo "smoke: catalog missing T12" >&2
+    exit 1
+}
+echo "smoke: /v1/experiments lists T12"
+
+# First run computes...
+H1=$(curl -sf -D - -o /dev/null "http://$ADDR/v1/run?id=T12&quick=true" | tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$H1" = "miss" ] || { echo "smoke: first run X-Cache=$H1, want miss" >&2; exit 1; }
+# ...the identical repeat must come from the cache.
+H2=$(curl -sf -D - -o /dev/null "http://$ADDR/v1/run?id=T12&quick=true" | tr -d '\r' | sed -n 's/^X-Cache: //p')
+[ "$H2" = "hit" ] || { echo "smoke: repeat run X-Cache=$H2, want hit" >&2; exit 1; }
+echo "smoke: /v1/run cached on repeat"
+
+curl -sf "http://$ADDR/metrics" | grep -q '"serve.cache_hits": 1' || {
+    echo "smoke: /metrics does not show the cache hit" >&2
+    curl -sf "http://$ADDR/metrics" >&2 || true
+    exit 1
+}
+echo "smoke: /metrics reports the hit"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$BIN" "$LOG"
+echo "smoke: ok"
