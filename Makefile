@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-json quick smoke clean
+.PHONY: all build test lint race bench bench-json bench-diff quick smoke clean
 
 all: test
 
@@ -42,6 +42,22 @@ bench-json:
 	$(GO) run ./cmd/wastelab -run all -quick -parallel 4 -json LAB_$$(date +%Y-%m-%d).json > /dev/null
 	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson -lab LAB_$$(date +%Y-%m-%d).json > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote LAB_$$(date +%Y-%m-%d).json and BENCH_$$(date +%Y-%m-%d).json"
+
+# Regression gate: run the Go benchmarks fresh and compare them against the
+# newest committed BENCH_*.json snapshot with benchjson -diff. The comparison
+# is suite-relative (log-ratios centered on their median, flag band widened
+# under global noise), so a uniformly slower host passes; the exit is
+# non-zero only when a benchmark got slower relative to the rest of the
+# suite. The snapshot's BenchmarkLab/* pseudo-benchmarks are deliberately not
+# regenerated here: quick lab wall times under -parallel 4 depend on which
+# experiments are co-scheduled and are too noisy to gate on, so the diff
+# covers only the real benchmarks the two reports share. Narrow with
+# BENCH=<regex>; compare against a different snapshot with BASELINE=<file>.
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	@test -n "$(BASELINE)" || { echo "bench-diff: no committed BENCH_*.json baseline found"; exit 2; }
+	$(GO) test -bench '$(BENCH)' -benchmem ./... | $(GO) run ./cmd/benchjson > /tmp/bench-diff-new.json
+	$(GO) run ./cmd/benchjson -diff $(BASELINE) /tmp/bench-diff-new.json
 
 # Daemon smoke test: build cmd/wastelabd, start it, probe /healthz, run one
 # quick experiment twice, and assert the repeat is served from the cache.

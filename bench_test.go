@@ -18,6 +18,7 @@ import (
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
 	"tenways/internal/mem"
+	"tenways/internal/pdes"
 	"tenways/internal/sched"
 	"tenways/internal/sim"
 	"tenways/internal/workload"
@@ -331,6 +332,34 @@ func BenchmarkDESKernel(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(k.Events())/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkPDESIdleWave measures the partitioned engine's event rate on the
+// F28 idle-wave workload across partition counts — the scaling curve that
+// justifies the windowed design over the serial kernel (partitions=1 is the
+// serial baseline with the same heap and batch machinery in the loop).
+func BenchmarkPDESIdleWave(b *testing.B) {
+	ranks := 1 << 14
+	if testing.Short() {
+		ranks = 1 << 11
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run("parts="+strconv.Itoa(parts), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				w, err := pdes.NewIdleWave(ranks, 6, 50e-6, 400e-6, []int{1, 4}, []float64{2e-6, 2.5e-6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := pdes.Run(w, pdes.Config{Partitions: parts, Lookahead: w.MinDelay()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+	}
 }
 
 // BenchmarkKernelEvents tracks the event kernel's throughput with and

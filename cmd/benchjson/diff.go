@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"tenways/internal/stats"
+)
+
+// diffResult is one benchmark's old-vs-new comparison.
+type diffResult struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	residual float64 // log-ratio after median centering
+	verdict  string  // "", "slower", "faster"
+}
+
+// diffReports compares two benchjson reports. The comparison is noise-aware
+// in two ways: the per-benchmark log-ratios are centered on their median, so
+// a uniformly faster or slower machine (a different CI host) shifts nothing,
+// and the flag threshold is widened to two standard deviations of the
+// centered ratios when the run is globally noisy. A benchmark is a
+// regression when its centered ratio exceeds the limit — i.e. it got slower
+// relative to the rest of the suite by more than noise explains.
+func diffReports(prev, cur Report, thresholdPct float64, w io.Writer) (regressions int, err error) {
+	oldBy := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	var results []diffResult
+	var ratios []float64
+	var added, removed []string
+	for name, nb := range newBy {
+		ob, ok := oldBy[name]
+		if !ok {
+			added = append(added, name)
+			continue
+		}
+		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		r := diffResult{name: name, oldNs: ob.NsPerOp, newNs: nb.NsPerOp,
+			residual: math.Log(nb.NsPerOp / ob.NsPerOp)}
+		results = append(results, r)
+		ratios = append(ratios, r.residual)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
+
+	if len(results) == 0 {
+		fmt.Fprintln(w, "no benchmarks in common; nothing to compare")
+		reportMembership(w, added, removed)
+		return 0, nil
+	}
+
+	sum := stats.Summarize(ratios)
+	// Robust noise scale: 1.4826 x the median absolute deviation estimates
+	// the standard deviation without letting the regression being hunted
+	// inflate the band that would hide it.
+	devs := make([]float64, len(ratios))
+	for i, r := range ratios {
+		devs[i] = math.Abs(r - sum.Median)
+	}
+	sigma := 1.4826 * stats.Summarize(devs).Median
+	limit := math.Log(1 + thresholdPct/100)
+	if noisy := 2 * sigma; noisy > limit {
+		limit = noisy
+	}
+
+	improvements := 0
+	for i := range results {
+		results[i].residual -= sum.Median
+		switch {
+		case results[i].residual > limit:
+			results[i].verdict = "slower"
+			regressions++
+		case results[i].residual < -limit:
+			results[i].verdict = "faster"
+			improvements++
+		}
+	}
+
+	fmt.Fprintf(w, "%d benchmarks compared (%s -> %s), median shift %+.1f%%, flag limit ±%.1f%%\n\n",
+		len(results), orDate(prev.Date), orDate(cur.Date),
+		100*(math.Exp(sum.Median)-1), 100*(math.Exp(limit)-1))
+	tw := newColumnWriter(w, "benchmark", "old ns/op", "new ns/op", "vs suite", "verdict")
+	for _, r := range results {
+		tw.row(r.name,
+			fmt.Sprintf("%.0f", r.oldNs),
+			fmt.Sprintf("%.0f", r.newNs),
+			fmt.Sprintf("%+.1f%%", 100*(math.Exp(r.residual)-1)),
+			r.verdict)
+	}
+	tw.flush()
+	reportMembership(w, added, removed)
+	fmt.Fprintf(w, "\n%d regression(s), %d improvement(s)\n", regressions, improvements)
+	return regressions, nil
+}
+
+func orDate(d string) string {
+	if d == "" {
+		return "?"
+	}
+	return d
+}
+
+func reportMembership(w io.Writer, added, removed []string) {
+	if len(added) > 0 {
+		fmt.Fprintf(w, "\nonly in new: %s\n", strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "\nonly in old: %s\n", strings.Join(removed, ", "))
+	}
+}
+
+// columnWriter right-pads a small ASCII table.
+type columnWriter struct {
+	w      io.Writer
+	widths []int
+	rows   [][]string
+}
+
+func newColumnWriter(w io.Writer, headers ...string) *columnWriter {
+	cw := &columnWriter{w: w}
+	cw.row(headers...)
+	return cw
+}
+
+func (cw *columnWriter) row(cells ...string) {
+	for i, c := range cells {
+		if i >= len(cw.widths) {
+			cw.widths = append(cw.widths, 0)
+		}
+		if len(c) > cw.widths[i] {
+			cw.widths[i] = len(c)
+		}
+	}
+	cw.rows = append(cw.rows, cells)
+}
+
+func (cw *columnWriter) flush() {
+	for _, cells := range cw.rows {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := cw.widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(cw.w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// readReport loads one benchjson document from disk.
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s: no benchmarks in report (is this a benchjson document?)", path)
+	}
+	return rep, nil
+}
+
+// runDiff is the -diff entry point: compare old and new report files, write
+// the comparison, and report whether any benchmark regressed.
+func runDiff(oldPath, newPath string, thresholdPct float64, w io.Writer) (regressions int, err error) {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	neu, err := readReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	return diffReports(old, neu, thresholdPct, w)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(ns map[string]float64) Report {
+	var rep Report
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iterations: 1, NsPerOp: v})
+	}
+	return rep
+}
+
+func TestDiffFlagsSingleRegression(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 200, "BenchmarkC-8": 300, "BenchmarkD-8": 400})
+	cur := report(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 200, "BenchmarkC-8": 300, "BenchmarkD-8": 800})
+	var sb strings.Builder
+	regs, err := diffReports(old, cur, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regs, sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkD-8") || !strings.Contains(sb.String(), "slower") {
+		t.Fatalf("output does not name the regression:\n%s", sb.String())
+	}
+}
+
+// TestDiffIgnoresUniformSlowdown: a slower CI host scales every benchmark;
+// median centering must absorb that entirely.
+func TestDiffIgnoresUniformSlowdown(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 200, "BenchmarkC-8": 300})
+	cur := report(map[string]float64{"BenchmarkA-8": 250, "BenchmarkB-8": 500, "BenchmarkC-8": 750})
+	var sb strings.Builder
+	regs, err := diffReports(old, cur, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 0 {
+		t.Fatalf("uniform 2.5x slowdown flagged %d regressions:\n%s", regs, sb.String())
+	}
+}
+
+// TestDiffWidensLimitUnderNoise: when every benchmark moves a lot in random
+// directions, 2 sigma of the centered ratios exceeds the percent threshold
+// and nothing inside that band is flagged.
+func TestDiffWidensLimitUnderNoise(t *testing.T) {
+	old := report(map[string]float64{
+		"BenchmarkA-8": 100, "BenchmarkB-8": 100, "BenchmarkC-8": 100,
+		"BenchmarkD-8": 100, "BenchmarkE-8": 100, "BenchmarkF-8": 100,
+	})
+	cur := report(map[string]float64{
+		"BenchmarkA-8": 55, "BenchmarkB-8": 170, "BenchmarkC-8": 70,
+		"BenchmarkD-8": 150, "BenchmarkE-8": 60, "BenchmarkF-8": 165,
+	})
+	var sb strings.Builder
+	regs, err := diffReports(old, cur, 5, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 0 {
+		t.Fatalf("noisy-but-banded run flagged %d regressions with a 5%% threshold:\n%s", regs, sb.String())
+	}
+	if !strings.Contains(sb.String(), "flag limit") {
+		t.Fatalf("output missing the computed limit:\n%s", sb.String())
+	}
+}
+
+func TestDiffReportsMembershipChanges(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkA-8": 100, "BenchmarkGone-8": 50})
+	cur := report(map[string]float64{"BenchmarkA-8": 100, "BenchmarkNew-8": 70})
+	var sb strings.Builder
+	if _, err := diffReports(old, cur, 25, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "only in new: BenchmarkNew-8") || !strings.Contains(out, "only in old: BenchmarkGone-8") {
+		t.Fatalf("membership changes not reported:\n%s", out)
+	}
+}
+
+func TestDiffNoOverlap(t *testing.T) {
+	old := report(map[string]float64{"BenchmarkA-8": 100})
+	cur := report(map[string]float64{"BenchmarkB-8": 100})
+	var sb strings.Builder
+	regs, err := diffReports(old, cur, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 0 {
+		t.Fatalf("disjoint reports flagged %d regressions", regs)
+	}
+	if !strings.Contains(sb.String(), "nothing to compare") {
+		t.Fatalf("missing no-overlap notice:\n%s", sb.String())
+	}
+}

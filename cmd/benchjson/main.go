@@ -12,7 +12,13 @@
 //     BenchmarkLab/<id>-<workers> carrying its wall time, so lab runs and
 //     Go benchmarks share one schema downstream.
 //
-// Used by `make bench-json`.
+// With -diff it instead compares two previously emitted reports:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json
+//
+// prints a suite-relative comparison and exits 1 if any benchmark regressed
+// beyond -threshold (median-centered, so a uniformly slower CI host flags
+// nothing). Used by `make bench-json` and `make bench-diff`.
 package main
 
 import (
@@ -235,7 +241,24 @@ func peekNonSpace(br *bufio.Reader) (byte, error) {
 
 func main() {
 	labPath := flag.String("lab", "", "embed a wastelab -json lab report from this file")
+	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json; exit 1 if any benchmark regressed")
+	threshold := flag.Float64("threshold", 25, "with -diff, flag a benchmark whose suite-relative slowdown exceeds this percentage (widened automatically when the whole run is noisy)")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report files (old.json new.json)")
+			os.Exit(2)
+		}
+		regressions, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, *labPath); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

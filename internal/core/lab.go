@@ -203,5 +203,6 @@ func allExperiments() []Experiment {
 		{ID: "F27", Title: "Parallel runner speedup vs worker count", Run: runF27, Measured: true},
 		{ID: "T11", Title: "wastevet self-audit: rule-to-waste-mode map and finding counts", Run: runT11},
 		{ID: "T12", Title: "wastelabd self-measurement: request-path policies vs daemon waste modes", Run: runT12},
+		{ID: "F28", Title: "Idle-wave propagation at scale: measured vs analytic wave speed (partitioned PDES)", Run: runF28},
 	}
 }

@@ -1,0 +1,28 @@
+package netsim
+
+import "testing"
+
+// TestHopsMatchesPath pins the closed forms to the routed paths over every
+// pair, on instances that hit uneven leaf/group boundaries and both ring
+// parities.
+func TestHopsMatchesPath(t *testing.T) {
+	topos := []Topology{
+		NewFullyConnected(7),
+		NewRing(9),
+		NewRing(10),
+		NewTorus2D(4, 5),
+		NewTorus2D(3, 3),
+		NewFatTree2(13, 4),
+		NewDragonfly(11, 3),
+	}
+	for _, tp := range topos {
+		n := tp.Nodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if got, want := Hops(tp, s, d), len(tp.Path(s, d)); got != want {
+					t.Errorf("%s: Hops(%d,%d) = %d, len(Path) = %d", tp.Name(), s, d, got, want)
+				}
+			}
+		}
+	}
+}

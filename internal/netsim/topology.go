@@ -192,6 +192,50 @@ func (t *Dragonfly) Path(src, dst int) []int {
 	return []int{src, 2*t.N + gs*t.groups() + gd, t.N + dst}
 }
 
+// Hops returns the number of directed links on the route from src to dst —
+// len(t.Path(src, dst)) without materialising the path. The built-in
+// topologies get closed forms (the million-rank pdes workloads call this
+// per message, so it must not allocate); unknown implementations fall back
+// to Path.
+func Hops(t Topology, src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	switch tt := t.(type) {
+	case *FullyConnected:
+		return 1
+	case *Ring:
+		cw := (dst - src + tt.N) % tt.N
+		if ccw := tt.N - cw; ccw < cw {
+			return ccw
+		}
+		return cw
+	case *Torus2D:
+		sr, sc := src/tt.Cols, src%tt.Cols
+		dr, dc := dst/tt.Cols, dst%tt.Cols
+		dx := (dc - sc + tt.Cols) % tt.Cols
+		if back := tt.Cols - dx; back < dx {
+			dx = back
+		}
+		dy := (dr - sr + tt.Rows) % tt.Rows
+		if back := tt.Rows - dy; back < dy {
+			dy = back
+		}
+		return dx + dy
+	case *FatTree2:
+		if src/tt.Radix == dst/tt.Radix {
+			return 2
+		}
+		return 4
+	case *Dragonfly:
+		if src/tt.GroupSize == dst/tt.GroupSize {
+			return 2
+		}
+		return 3
+	}
+	return len(t.Path(src, dst))
+}
+
 // AverageHops returns the mean path length over all ordered pairs, a
 // summary statistic used in topology tables.
 func AverageHops(t Topology) float64 {

@@ -1,0 +1,342 @@
+package pdes
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// engine is the per-run state: one heap, one cross-partition batch row, and
+// one Sched per partition, plus per-partition counters summed at the end so
+// the window loop itself is atomic-free.
+type engine struct {
+	w    Workload
+	n    int // ranks
+	p    int // partitions
+	look float64
+
+	// seq holds the per-source emission counters. seq[r] is only ever
+	// touched by the worker owning r's partition (handlers run on the rank
+	// they target, and an event's Src is the handling rank), so the values
+	// a rank's events carry do not depend on the partitioning.
+	seq   []uint32
+	heaps [][]Event
+	// bufs[parity][src][dst] buffers events crossing from partition src to
+	// partition dst. A window writes parity w&1 and drains the opposite
+	// parity, so delivery into one partition's heap never races with
+	// another partition still filling its own outgoing batches. Slabs are
+	// truncated, not freed, after delivery.
+	bufs   [2][][][]Event
+	scheds []partSched
+
+	// Per-partition accumulators, indexed by partition; each is written
+	// only by the partition's current worker.
+	crossMin []float64 // min timestamp buffered cross-partition this window
+	lastT    []float64 // timestamp of the partition's last processed event
+	events   []uint64
+	stalls   []uint64
+	xev      []uint64
+	xbatch   []uint64
+	errs     []error
+}
+
+func (e *engine) part(rank int) int {
+	return int(int64(rank) * int64(e.p) / int64(e.n))
+}
+
+// partSched is the partitioned engine's Sched. One per partition; its
+// rank/time fields are set before each Init or Handle call.
+type partSched struct {
+	eng    *engine
+	part   int
+	parity int
+	wend   float64 // current window end; 0 during Init (no lookahead gate)
+	now    float64
+	src    int32
+}
+
+func (s *partSched) Now() float64       { return s.now }
+func (s *partSched) Rank() int          { return int(s.src) }
+func (s *partSched) Lookahead() float64 { return s.eng.look }
+
+func (s *partSched) fail(err error) {
+	if s.eng.errs[s.part] == nil {
+		s.eng.errs[s.part] = err
+	}
+}
+
+func (s *partSched) At(dst int, t float64, kind, step int32, data float64) {
+	e := s.eng
+	if dst < 0 || dst >= e.n {
+		s.fail(fmt.Errorf("pdes: rank %d scheduled event on rank %d, outside [0, %d)", s.src, dst, e.n))
+		return
+	}
+	if t < s.now {
+		t = s.now
+	}
+	e.seq[s.src]++
+	ev := Event{Time: t, Data: data, Src: s.src, Dst: int32(dst), Seq: e.seq[s.src], Kind: kind, Step: step}
+	dp := e.part(dst)
+	if dp == s.part {
+		heapPush(&e.heaps[dp], ev)
+		return
+	}
+	if s.wend > 0 && t < s.wend {
+		s.fail(fmt.Errorf(
+			"pdes: lookahead violation: rank %d -> rank %d at t=%g lands inside the window ending at %g; cross-rank messages need delay >= lookahead (%g)",
+			s.src, dst, t, s.wend, e.look))
+		return
+	}
+	buf := &e.bufs[s.parity][s.part][dp]
+	if len(*buf) == 0 {
+		e.xbatch[s.part]++
+	}
+	*buf = append(*buf, ev)
+	e.xev[s.part]++
+	if t < e.crossMin[s.part] {
+		e.crossMin[s.part] = t
+	}
+}
+
+// runWindow advances one partition through one window [gvt, wend): deliver
+// the batches the previous window buffered for it, then process every
+// pending event timestamped before wend. It returns the partition's lower
+// bound on future work (min of heap head and freshly buffered cross events)
+// and whether the partition has failed.
+func (e *engine) runWindow(d int, wend float64, window int) (lmin float64, failed bool) {
+	lmin = math.Inf(1)
+	defer func() {
+		if r := recover(); r != nil {
+			if e.errs[d] == nil {
+				e.errs[d] = fmt.Errorf("pdes: partition %d handler panicked: %v", d, r)
+			}
+			failed = true
+		}
+	}()
+	if e.errs[d] != nil {
+		return lmin, true
+	}
+	wp := window & 1
+	h := &e.heaps[d]
+	for sp := 0; sp < e.p; sp++ {
+		buf := e.bufs[1-wp][sp][d]
+		if len(buf) == 0 {
+			continue
+		}
+		for i := range buf {
+			heapPush(h, buf[i])
+		}
+		e.bufs[1-wp][sp][d] = buf[:0]
+	}
+	e.crossMin[d] = math.Inf(1)
+	s := &e.scheds[d]
+	s.parity = wp
+	s.wend = wend
+	processed := uint64(0)
+	for len(*h) > 0 && (*h)[0].Time < wend {
+		ev := heapPop(h)
+		s.now = ev.Time
+		s.src = ev.Dst
+		e.lastT[d] = ev.Time
+		e.w.Handle(s, ev)
+		processed++
+		if e.errs[d] != nil {
+			failed = true
+			break
+		}
+	}
+	e.events[d] += processed
+	if processed == 0 {
+		e.stalls[d]++
+	}
+	if m := e.crossMin[d]; m < lmin {
+		lmin = m
+	}
+	if len(*h) > 0 && (*h)[0].Time < lmin {
+		lmin = (*h)[0].Time
+	}
+	return lmin, failed
+}
+
+// workerReport is one worker's per-window reduction over its partitions.
+type workerReport struct {
+	min  float64
+	fail bool
+}
+
+// Run executes the workload to completion and returns the run summary. The
+// first failing partition's error (lookahead violation, bad destination, or
+// a recovered handler panic) is returned; partitions are scanned in index
+// order so the reported error does not depend on worker scheduling.
+func Run(w Workload, cfg Config) (Result, error) {
+	n := w.Ranks()
+	if n < 1 {
+		return Result{}, fmt.Errorf("pdes: workload has %d ranks, need at least 1", n)
+	}
+	if cfg.Lookahead <= 0 {
+		return Result{}, ErrLookahead
+	}
+	p := cfg.Partitions
+	if p <= 0 {
+		p = 8
+	}
+	if p > n {
+		p = n
+	}
+	if p > maxPartitions {
+		p = maxPartitions
+	}
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = p
+	}
+	if nw > p {
+		nw = p
+	}
+
+	e := &engine{
+		w: w, n: n, p: p, look: cfg.Lookahead,
+		seq:      make([]uint32, n),
+		heaps:    make([][]Event, p),
+		scheds:   make([]partSched, p),
+		crossMin: make([]float64, p),
+		lastT:    make([]float64, p),
+		events:   make([]uint64, p),
+		stalls:   make([]uint64, p),
+		xev:      make([]uint64, p),
+		xbatch:   make([]uint64, p),
+		errs:     make([]error, p),
+	}
+	for par := 0; par < 2; par++ {
+		e.bufs[par] = make([][][]Event, p)
+		for sp := 0; sp < p; sp++ {
+			e.bufs[par][sp] = make([][]Event, p)
+		}
+	}
+	for d := 0; d < p; d++ {
+		e.heaps[d] = make([]Event, 0, 2*n/p+4)
+		e.scheds[d] = partSched{eng: e, part: d}
+		e.crossMin[d] = math.Inf(1)
+		e.lastT[d] = math.Inf(-1)
+	}
+
+	// Seed the ranks serially, in rank order: Init emissions land in the
+	// heaps or in the parity-1 batches that window 0 delivers, so they may
+	// target any rank at any non-negative time.
+	is := partSched{eng: e, parity: 1}
+	for r := 0; r < n; r++ {
+		is.part = e.part(r)
+		is.src = int32(r)
+		is.now = 0
+		w.Init(&is, r)
+	}
+	if err := e.firstError(); err != nil {
+		return Result{}, err
+	}
+
+	gmin := math.Inf(1)
+	for d := 0; d < p; d++ {
+		if len(e.heaps[d]) > 0 && e.heaps[d][0].Time < gmin {
+			gmin = e.heaps[d][0].Time
+		}
+		if e.crossMin[d] < gmin {
+			gmin = e.crossMin[d]
+		}
+	}
+
+	// Persistent workers, one per stride of partitions: each window the
+	// coordinator broadcasts the window end, workers drain + process their
+	// partitions, and the per-partition lower bounds reduce to the next
+	// global virtual time.
+	start := make([]chan float64, nw)
+	reports := make(chan workerReport, nw)
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		start[wi] = make(chan float64, 1)
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			window := 0
+			for wend := range start[wi] {
+				rep := workerReport{min: math.Inf(1)}
+				for d := wi; d < e.p; d += nw {
+					lmin, failed := e.runWindow(d, wend, window)
+					if lmin < rep.min {
+						rep.min = lmin
+					}
+					if failed {
+						rep.fail = true
+					}
+				}
+				window++
+				reports <- rep
+			}
+		}(wi)
+	}
+
+	var windows uint64
+	failed := false
+	for !failed && !math.IsInf(gmin, 1) {
+		wend := gmin + e.look
+		if wend <= gmin {
+			// Lookahead underflowed against a large virtual time; still
+			// make progress one event-timestamp at a time.
+			wend = math.Nextafter(gmin, math.Inf(1))
+		}
+		for _, ch := range start {
+			//lint:ignore chanbatch window broadcast: exactly one value per worker per window, nothing to batch
+			ch <- wend
+		}
+		gmin = math.Inf(1)
+		for range start {
+			rep := <-reports
+			if rep.min < gmin {
+				gmin = rep.min
+			}
+			if rep.fail {
+				failed = true
+			}
+		}
+		windows++
+	}
+	for _, ch := range start {
+		//lint:ignore chanbatch shutdown broadcast: one close per worker
+		close(ch)
+	}
+	wg.Wait()
+
+	res := Result{Windows: windows, Partitions: p, Workers: nw}
+	for d := 0; d < p; d++ {
+		res.Events += e.events[d]
+		res.Stalls += e.stalls[d]
+		res.CrossEvents += e.xev[d]
+		res.CrossBatches += e.xbatch[d]
+		if e.lastT[d] > res.VirtualTime {
+			res.VirtualTime = e.lastT[d]
+		}
+	}
+	if reg := cfg.Obs; reg != nil {
+		reg.Counter("pdes.runs").Inc()
+		reg.Counter("pdes.events").Add(int64(res.Events))
+		reg.Counter("pdes.windows").Add(int64(res.Windows))
+		reg.Counter("pdes.window_stalls").Add(int64(res.Stalls))
+		reg.Counter("pdes.cross_events").Add(int64(res.CrossEvents))
+		reg.Counter("pdes.cross_batches").Add(int64(res.CrossBatches))
+		reg.Gauge("pdes.virtual_seconds").Add(res.VirtualTime)
+		if res.CrossBatches > 0 {
+			reg.Histogram("pdes.batch_events").Observe(float64(res.CrossEvents) / float64(res.CrossBatches))
+		}
+	}
+	return res, e.firstError()
+}
+
+// firstError returns the lowest-indexed partition's error, deterministic
+// regardless of which worker hit it first.
+func (e *engine) firstError() error {
+	for _, err := range e.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package pdes
+
+// Per-partition event queues are hand-rolled binary heaps over Event
+// values: no container/heap interface boxing, no per-event allocation, and
+// the slab backing each heap is reused for the life of the run.
+
+// evLess orders events by the total key (Time, Src, Seq). Seq is unique
+// per source, so no two events compare equal and pop order is a total
+// order — the root of the engine's determinism guarantee.
+func evLess(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// heapPush inserts ev, sifting up.
+func heapPush(h *[]Event, ev Event) {
+	hh := append(*h, ev)
+	*h = hh
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(&hh[i], &hh[p]) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
+}
+
+// heapPop removes and returns the minimum event, sifting down. The caller
+// guarantees the heap is non-empty.
+func heapPop(h *[]Event) Event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh = hh[:n]
+	*h = hh
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && evLess(&hh[r], &hh[l]) {
+			m = r
+		}
+		if !evLess(&hh[m], &hh[i]) {
+			break
+		}
+		hh[i], hh[m] = hh[m], hh[i]
+		i = m
+	}
+	return top
+}

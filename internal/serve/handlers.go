@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -28,6 +29,8 @@ import (
 //	GET  /v1/run           run one experiment (?id, ?machine, ?seed, ?quick,
 //	                       ?format, ?timeout) through cache + coalescing +
 //	                       admission
+//	GET  /v1/runall        run many experiments (?ids=F1,F2,... or the whole
+//	                       suite) through the same per-experiment path
 //	POST /v1/diagnose      map a trace breakdown to waste modes
 //	GET  /v1/tune          tune one remedy parameter (?id, ?machine, ?quick)
 func (s *Server) Handler() http.Handler {
@@ -36,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/runall", s.handleRunAll)
 	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	mux.HandleFunc("GET /v1/tune", s.handleTune)
 	return mux
@@ -252,6 +256,115 @@ func cacheHeader(hit bool) string {
 		return "hit"
 	}
 	return "miss"
+}
+
+// runAllRecord is one experiment's entry in a /v1/runall response.
+type runAllRecord struct {
+	ID        string         `json:"id"`
+	Title     string         `json:"title"`
+	Cached    bool           `json:"cached"`
+	Coalesced bool           `json:"coalesced,omitempty"`
+	WallMS    float64        `json:"wall_ms"`
+	Error     string         `json:"error,omitempty"`
+	Table     *report.Table  `json:"table,omitempty"`
+	Figure    *report.Figure `json:"figure,omitempty"`
+}
+
+// runAllResponse is the /v1/runall JSON body.
+type runAllResponse struct {
+	Machine string         `json:"machine"`
+	Seed    uint64         `json:"seed,omitempty"`
+	Quick   bool           `json:"quick,omitempty"`
+	Failed  int            `json:"failed"`
+	Results []runAllRecord `json:"results"`
+}
+
+// handleRunAll runs a set of experiments (?ids=F1,F2,... — default the whole
+// suite) through exactly the per-experiment path /v1/run uses: each id gets
+// its own cache key, coalescing flight, and admission slot, so a runall
+// neither bypasses the result cache nor holds more than one slot at a time.
+// Per-experiment failures are recorded softly in the response; only a spent
+// request deadline stops the sweep, with the unreached experiments reported
+// as such.
+func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Inc()
+	p, ok := s.params(w, r)
+	if !ok {
+		return
+	}
+	var exps []core.Experiment
+	if v := r.URL.Query().Get("ids"); v != "" {
+		for _, id := range strings.Split(v, ",") {
+			e, err := s.lab.Get(strings.TrimSpace(id))
+			if err != nil {
+				s.writeErr(w, http.StatusNotFound, err.Error())
+				return
+			}
+			exps = append(exps, e)
+		}
+	} else {
+		exps = s.lab.Experiments()
+	}
+	format := r.URL.Query().Get("format")
+	var renderer report.Renderer
+	if format != "" && format != "json" {
+		var err error
+		if renderer, err = report.RendererByName(format); err != nil {
+			s.writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+	resp := runAllResponse{Machine: p.spec.Name, Seed: p.seed, Quick: p.quick,
+		Results: make([]runAllRecord, 0, len(exps))}
+	cfg := core.Config{Machine: p.spec, Quick: p.quick, Seed: p.seed}
+	for i, e := range exps {
+		rec := runAllRecord{ID: e.ID, Title: e.Title}
+		if err := ctx.Err(); err != nil {
+			// Deadline spent: report this and every remaining experiment as
+			// unreached rather than serving a silently truncated sweep.
+			for _, rest := range exps[i:] {
+				resp.Results = append(resp.Results, runAllRecord{
+					ID: rest.ID, Title: rest.Title, Error: "not run: " + err.Error()})
+				resp.Failed++
+			}
+			break
+		}
+		key := runKey(p.spec.Name, e.ID, p.seed, p.quick)
+		ent, cached, coalesced, err := s.runShared(ctx, key, e.ID, cfg)
+		if err != nil {
+			rec.Error = err.Error()
+			resp.Failed++
+		} else {
+			rec.Cached = cached
+			rec.Coalesced = coalesced
+			rec.WallMS = ent.WallMS
+			rec.Table = ent.Output.Table
+			rec.Figure = ent.Output.Figure
+		}
+		resp.Results = append(resp.Results, rec)
+	}
+
+	if renderer != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rec := range resp.Results {
+			fmt.Fprintf(w, "== %s: %s\n", rec.ID, rec.Title)
+			if rec.Error != "" {
+				fmt.Fprintf(w, "error: %s\n\n", rec.Error)
+				continue
+			}
+			out := core.Output{Table: rec.Table, Figure: rec.Figure}
+			if err := out.RenderWith(w, renderer); err != nil {
+				s.errs.Inc()
+				return
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runShared is the shared request path: result cache, then singleflight

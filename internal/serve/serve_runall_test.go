@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func decodeRunAll(t *testing.T, body []byte) runAllResponse {
+	t.Helper()
+	var resp runAllResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad /v1/runall body: %v\n%s", err, body)
+	}
+	return resp
+}
+
+func TestRunAllSweepsSuiteThroughCache(t *testing.T) {
+	lab := &stubLab{}
+	_, ts := newTestServer(t, lab, Options{})
+
+	code, _, body := get(t, ts.URL+"/v1/runall?quick=true")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeRunAll(t, body)
+	if len(resp.Results) != 8 || resp.Failed != 0 {
+		t.Fatalf("got %d results, %d failed, want 8/0:\n%s", len(resp.Results), resp.Failed, body)
+	}
+	for i, rec := range resp.Results {
+		if rec.Cached {
+			t.Errorf("first sweep: %s already cached", rec.ID)
+		}
+		if rec.Table == nil {
+			t.Errorf("%s missing table", rec.ID)
+		}
+		if want := lab.Experiments()[i].ID; rec.ID != want {
+			t.Errorf("result[%d] = %s, want %s (registration order)", i, rec.ID, want)
+		}
+	}
+	if got := lab.runs.Load(); got != 8 {
+		t.Fatalf("lab ran %d times, want 8", got)
+	}
+
+	// The sweep populated the same per-experiment cache /v1/run uses: a
+	// second sweep (and a single run) costs zero lab evaluations.
+	_, _, body = get(t, ts.URL+"/v1/runall?quick=true")
+	for _, rec := range decodeRunAll(t, body).Results {
+		if !rec.Cached {
+			t.Errorf("second sweep: %s not served from cache", rec.ID)
+		}
+	}
+	if code, hdr, _ := get(t, ts.URL+"/v1/run?id=E3&quick=true"); code != 200 || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("single run after sweep: status %d, X-Cache %q, want 200/hit", code, hdr.Get("X-Cache"))
+	}
+	if got := lab.runs.Load(); got != 8 {
+		t.Fatalf("after cached sweeps lab ran %d times, want still 8", got)
+	}
+}
+
+func TestRunAllSubsetKeepsRequestOrder(t *testing.T) {
+	_, ts := newTestServer(t, &stubLab{}, Options{})
+	code, _, body := get(t, ts.URL+"/v1/runall?ids=E5,e2")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeRunAll(t, body)
+	if len(resp.Results) != 2 || resp.Results[0].ID != "E5" || resp.Results[1].ID != "E2" {
+		t.Fatalf("subset results wrong:\n%s", body)
+	}
+}
+
+func TestRunAllUnknownIDIs404(t *testing.T) {
+	_, ts := newTestServer(t, &stubLab{}, Options{})
+	if code, _, body := get(t, ts.URL+"/v1/runall?ids=E2,NOPE"); code != 404 {
+		t.Fatalf("status %d, want 404: %s", code, body)
+	}
+}
+
+func TestRunAllRecordsSoftFailures(t *testing.T) {
+	lab := &stubLab{fail: errors.New("boom")}
+	_, ts := newTestServer(t, lab, Options{})
+	code, _, body := get(t, ts.URL+"/v1/runall?ids=E1,E2")
+	if code != 200 {
+		t.Fatalf("status %d, want 200 with soft errors: %s", code, body)
+	}
+	resp := decodeRunAll(t, body)
+	if resp.Failed != 2 {
+		t.Fatalf("Failed = %d, want 2:\n%s", resp.Failed, body)
+	}
+	for _, rec := range resp.Results {
+		if !strings.Contains(rec.Error, "boom") {
+			t.Errorf("%s error = %q, want the lab failure", rec.ID, rec.Error)
+		}
+	}
+}
+
+func TestRunAllTextFormat(t *testing.T) {
+	_, ts := newTestServer(t, &stubLab{}, Options{})
+	code, hdr, body := get(t, ts.URL+"/v1/runall?ids=E1,E4&format=ascii")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	out := string(body)
+	if !strings.Contains(out, "== E1: stub E1") || !strings.Contains(out, "== E4: stub E4") {
+		t.Fatalf("text output missing experiment headers:\n%s", out)
+	}
+}

@@ -262,13 +262,7 @@ func (k *Kernel) Run(n int, body func(p *Proc)) (float64, error) {
 			}
 		}
 	}
-	if reg := k.metrics; reg != nil {
-		// One flush per run keeps the event loop itself atomic-free.
-		reg.Counter("sim.events").Add(int64(k.events))
-		reg.Counter("sim.runs").Inc()
-		reg.Gauge("sim.virtual_seconds").Add(k.now)
-		reg.Histogram("sim.makespan_seconds").Observe(k.now)
-	}
+	k.flushMetrics()
 	if firstErr != nil {
 		return k.now, firstErr
 	}
@@ -279,4 +273,36 @@ func (k *Kernel) Run(n int, body func(p *Proc)) (float64, error) {
 		return k.now, &DeadlockError{Blocked: k.nlive, Time: k.now}
 	}
 	return k.now, nil
+}
+
+// RunEvents drives the event queue without starting any processes: only
+// closures scheduled with At run. It is the kernel's closure-only mode,
+// used by event-shaped workloads (pdes.RunOnSim) that never block and so
+// need no process goroutines. Calling it while processes from Run are live
+// is an error.
+func (k *Kernel) RunEvents() (float64, error) {
+	if k.nlive > 0 {
+		return k.now, fmt.Errorf("sim: RunEvents called with %d live processes; use Run", k.nlive)
+	}
+	for k.pq.Len() > 0 {
+		ev := heap.Pop(&k.pq).(event)
+		k.now = ev.time
+		k.events++
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	k.flushMetrics()
+	return k.now, nil
+}
+
+// flushMetrics records the run's event-loop totals once, at the end, so the
+// loop itself stays atomic-free.
+func (k *Kernel) flushMetrics() {
+	if reg := k.metrics; reg != nil {
+		reg.Counter("sim.events").Add(int64(k.events))
+		reg.Counter("sim.runs").Inc()
+		reg.Gauge("sim.virtual_seconds").Add(k.now)
+		reg.Histogram("sim.makespan_seconds").Observe(k.now)
+	}
 }

@@ -3,12 +3,14 @@ package tune
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
 
 	"tenways/internal/chaos"
 	"tenways/internal/collective"
 	"tenways/internal/kernels"
 	"tenways/internal/machine"
+	"tenways/internal/pdes"
 	"tenways/internal/pgas"
 	"tenways/internal/sched"
 	"tenways/internal/waste"
@@ -26,6 +28,10 @@ type Tunable struct {
 	Space    *Space
 	Default  Point // the previously hard-coded constant
 	Unimodal bool  // single numeric axis with a unimodal objective: golden-section applies
+	// Quick records which registry variant built this tunable. Quick and
+	// full variants model different workloads over different axes, so the
+	// flag is part of the evaluation-cache identity.
+	Quick bool
 
 	objective func(m *machine.Spec) Objective
 }
@@ -55,7 +61,11 @@ func (t Tunable) Tune(m *machine.Spec, opts Options) (Result, error) {
 		opts.Strategy = t.Strategy()
 	}
 	if opts.CacheKey == "" {
-		opts.CacheKey = m.Name + "|" + t.ID
+		// quick is part of the key: the quick and full registries model
+		// different workloads on different axes under the same ID, and a
+		// shared long-lived cache (the daemon's) must never serve one
+		// variant's point costs to the other.
+		opts.CacheKey = m.Name + "|" + t.ID + "|quick=" + strconv.FormatBool(t.Quick)
 	}
 	if opts.Seeds == nil {
 		opts.Seeds = []Point{t.Default}
@@ -65,18 +75,24 @@ func (t Tunable) Tune(m *machine.Spec, opts Options) (Result, error) {
 
 // Tunables returns the registered remedy parameters. quick shrinks the
 // modeled problems (and with them the spaces) for tests and -short runs;
-// quick and full tunables model different workloads, so their cache keys
-// never collide only because callers pass consistent quick flags per
-// process — the suite does.
+// quick and full tunables model different workloads under the same IDs, so
+// the flag is stamped onto every tunable and carried into the default
+// evaluation-cache key — a shared cache can hold both variants.
 func Tunables(quick bool) []Tunable {
-	return []Tunable{
+	ts := []Tunable{
 		w1Block(quick),
 		w7Aggregation(quick),
 		t3Allreduce(quick),
 		f13Replication(quick),
 		f4Chunk(quick),
 		f25Checkpoint(quick),
+		f28Partitions(quick),
+		f28Lookahead(quick),
 	}
+	for i := range ts {
+		ts[i].Quick = quick
+	}
+	return ts
 }
 
 // ByID returns the named tunable, case-insensitively. The full ID
@@ -320,4 +336,82 @@ func f25Checkpoint(quick bool) Tunable {
 			}
 		},
 	}
+}
+
+// f28Model derives the partitioned-engine cost model for the F28 idle-wave
+// campaign: per-event and per-partition costs from the machine's clock, the
+// halo delay (and with it the window count) from its network parameters.
+func f28Model(m *machine.Spec, quick bool) (pdes.CostModel, float64) {
+	ranks, steps := 1<<18, 12
+	if quick {
+		ranks, steps = 1<<14, 8
+	}
+	const compute = 50e-6
+	delta := m.Net.AlphaSec + 2*m.Net.OverheadSec + 128/m.Net.BytesPerSec
+	return pdes.CostModel{
+		Events:     ranks * steps * 3, // one completion + two offset-1 halos per rank-step
+		Ranks:      ranks,
+		Horizon:    float64(steps) * (compute + delta),
+		EventSec:   25 * m.CycleSec(),    // heap pop + handler, per log2(depth) level
+		BarrierSec: 20000 * m.CycleSec(), // per-window worker wakeup and GVT reduction
+		PartSec:    400 * m.CycleSec(),   // per-partition per-window batch scan
+	}, delta
+}
+
+// f28Partitions tunes the pdes engine's partition count (F28): few
+// partitions mean deep heaps and idle cores, many mean per-window scan cost
+// across the P x P batch matrix — the optimum follows the machine's core
+// count and clock, not any hard-coded 8.
+func f28Partitions(quick bool) Tunable {
+	axis := LogRange("parts", 1, 256, 2)
+	space := NewSpace(axis)
+	ranks := f28Ranks(quick)
+	return Tunable{
+		ID:       "F28-parts",
+		ModeID:   "F28",
+		Title:    fmt.Sprintf("pdes partition count (idle wave, %d ranks, modeled)", ranks),
+		Space:    space,
+		Default:  Point{indexOf(axis, 8)}, // the engine's hard-coded default
+		Unimodal: true,
+		objective: func(m *machine.Spec) Objective {
+			model, delta := f28Model(m, quick)
+			return func(p Point) (Cost, error) {
+				return Cost{Seconds: model.Wall(space.Int(p, "parts"), m.CoresPerNode, delta)}, nil
+			}
+		},
+	}
+}
+
+// f28Lookahead tunes the window width as a divisor of the workload's halo
+// delay (the widest legal lookahead): narrower windows only add barriers,
+// so the tuner should drive the divisor back to 1 from the conservative
+// default — the monotone degenerate case of the U-curve, worth covering in
+// T9 because the temptation to over-synchronise is the waste W3 names.
+func f28Lookahead(quick bool) Tunable {
+	axis := Explicit("win-div", 1, 2, 4, 8, 16, 32, 64)
+	space := NewSpace(axis)
+	ranks := f28Ranks(quick)
+	return Tunable{
+		ID:       "F28-look",
+		ModeID:   "F28",
+		Title:    fmt.Sprintf("pdes window width, as delay/divisor (idle wave, %d ranks, modeled)", ranks),
+		Space:    space,
+		Default:  Point{indexOf(axis, 8)},
+		Unimodal: true,
+		objective: func(m *machine.Spec) Objective {
+			model, delta := f28Model(m, quick)
+			return func(p Point) (Cost, error) {
+				look := delta / float64(space.Int(p, "win-div"))
+				return Cost{Seconds: model.Wall(8, m.CoresPerNode, look)}, nil
+			}
+		},
+	}
+}
+
+// f28Ranks returns the F28 model's rank count, for titles.
+func f28Ranks(quick bool) int {
+	if quick {
+		return 1 << 14
+	}
+	return 1 << 18
 }
