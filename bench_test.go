@@ -337,27 +337,44 @@ func BenchmarkDESKernel(b *testing.B) {
 // BenchmarkPDESIdleWave measures the partitioned engine's event rate on the
 // F28 idle-wave workload across partition counts — the scaling curve that
 // justifies the windowed design over the serial kernel (partitions=1 is the
-// serial baseline with the same heap and batch machinery in the loop).
+// serial baseline with the same queue and batch machinery in the loop).
+// The queue= and barrier= axes pin both disciplines at the widest partition
+// count so bench-diff can certify the ladder/sense rewrite against the
+// committed baseline and catch either discipline regressing independently.
 func BenchmarkPDESIdleWave(b *testing.B) {
 	ranks := 1 << 14
 	if testing.Short() {
 		ranks = 1 << 11
 	}
+	run := func(b *testing.B, cfg pdes.Config) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			w, err := pdes.NewIdleWave(ranks, 6, 50e-6, 400e-6, []int{1, 4}, []float64{2e-6, 2.5e-6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Lookahead = w.MinDelay()
+			res, err := pdes.Run(w, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	}
 	for _, parts := range []int{1, 2, 4, 8} {
 		b.Run("parts="+strconv.Itoa(parts), func(b *testing.B) {
-			var events uint64
-			for i := 0; i < b.N; i++ {
-				w, err := pdes.NewIdleWave(ranks, 6, 50e-6, 400e-6, []int{1, 4}, []float64{2e-6, 2.5e-6})
-				if err != nil {
-					b.Fatal(err)
-				}
-				res, err := pdes.Run(w, pdes.Config{Partitions: parts, Lookahead: w.MinDelay()})
-				if err != nil {
-					b.Fatal(err)
-				}
-				events += res.Events
-			}
-			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+			run(b, pdes.Config{Partitions: parts})
+		})
+	}
+	for _, q := range []pdes.QueueKind{pdes.QueueLadder, pdes.QueueHeap} {
+		b.Run("parts=8/queue="+q.String(), func(b *testing.B) {
+			run(b, pdes.Config{Partitions: 8, Queue: q})
+		})
+	}
+	for _, bar := range []pdes.BarrierKind{pdes.BarrierSense, pdes.BarrierChan} {
+		b.Run("parts=8/workers=4/barrier="+bar.String(), func(b *testing.B) {
+			run(b, pdes.Config{Partitions: 8, Workers: 4, Barrier: bar})
 		})
 	}
 }

@@ -2,9 +2,13 @@
 // stdout). It accepts two inputs, separately or together:
 //
 //   - `go test -bench` text on stdin: one object per benchmark line with
-//     the parsed metrics, plus run metadata. The original benchmark line
-//     is kept verbatim in each record's "raw" field, so the text format
-//     benchstat consumes can be reconstructed exactly with e.g.
+//     the parsed metrics, plus run metadata. Custom b.ReportMetric pairs
+//     land in a per-benchmark "metrics" map, and the GFLOPS-reporting
+//     measured kernels additionally get "roofline_eff" — their flop rate
+//     as a fraction of the -machine preset's roofline bound at the
+//     kernel's arithmetic intensity. The original benchmark line is kept
+//     verbatim in each record's "raw" field, so the text format benchstat
+//     consumes can be reconstructed exactly with e.g.
 //     jq -r '.benchmarks[].raw' BENCH_2026-08-06.json | benchstat /dev/stdin
 //   - a wastelab -json lab report, via -lab FILE (or on stdin, detected by
 //     its leading '{'): the report is embedded under "lab" and each
@@ -35,6 +39,9 @@ import (
 	"time"
 
 	"tenways"
+	"tenways/internal/kernels"
+	"tenways/internal/machine"
+	"tenways/internal/roofline"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -45,17 +52,29 @@ type Benchmark struct {
 	// BytesPerOp and AllocsPerOp are present only under -benchmem.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
-	Raw         string `json:"raw"`
+	// Metrics holds the custom b.ReportMetric pairs (GFLOPS, Mevents/s,
+	// MB/s, ...) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// RooflineEff is the measured flop rate as a fraction of the reference
+	// machine's roofline bound at the benchmark's arithmetic intensity —
+	// present only for the GFLOPS-reporting kernels rooflineIntensity
+	// knows. It is W8 made visible in the benchmark report: a kernel far
+	// under its own bound is mismatched to the machine balance, not slow.
+	RooflineEff *float64 `json:"roofline_eff,omitempty"`
+	Raw         string   `json:"raw"`
 }
 
 // Report is the emitted document.
 type Report struct {
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	Benchmarks []Benchmark        `json:"benchmarks"`
-	Lab        *tenways.LabReport `json:"lab,omitempty"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// RooflineMachine names the preset whose roofline bound the
+	// roofline_eff fields are fractions of.
+	RooflineMachine string             `json:"roofline_machine,omitempty"`
+	Benchmarks      []Benchmark        `json:"benchmarks"`
+	Lab             *tenways.LabReport `json:"lab,omitempty"`
 }
 
 // parseLine parses one "BenchmarkName-8  123  456 ns/op [...]" line; ok is
@@ -75,18 +94,81 @@ func parseLine(line string) (Benchmark, bool) {
 	}
 	b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns, Raw: line}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			b.BytesPerOp = &v
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				b.BytesPerOp = &v
+			}
 		case "allocs/op":
-			b.AllocsPerOp = &v
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				b.AllocsPerOp = &v
+			}
+		default:
+			// Custom b.ReportMetric pairs: any float value with a unit.
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
 		}
 	}
 	return b, true
+}
+
+// stripProcs removes the -<GOMAXPROCS> suffix go test appends to benchmark
+// names ("BenchmarkMeasuredFFT/4096-8" -> "BenchmarkMeasuredFFT/4096"), so
+// the roofline table matches across hosts with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// rooflineIntensity maps the GFLOPS-reporting measured benchmarks (procs
+// suffix stripped) to the arithmetic intensity of the kernel they run, with
+// the same streaming models T4's roofline table uses. Benchmarks not listed
+// here simply get no roofline_eff field.
+func rooflineIntensity(name string) (float64, bool) {
+	switch name {
+	case "BenchmarkMeasuredMatmul/naive":
+		// Naive ijk at n=192 streams both operands per multiply-add: 2
+		// flops per 16 bytes, no blocking reuse.
+		return 2.0 / 16, true
+	case "BenchmarkMeasuredMatmul/blocked32":
+		// 2b flops per 24 bytes streamed per block row at b=32.
+		return 2 * 32 / 8.0 / 3, true
+	case "BenchmarkMeasuredFFT/4096", "BenchmarkMeasuredFFT/65536":
+		n := 1 << 12
+		if strings.HasSuffix(name, "65536") {
+			n = 1 << 16
+		}
+		naive, _ := kernels.FFTBytes(n, 3<<20)
+		return kernels.FFTFlops(n) / naive, true
+	}
+	return 0, false
+}
+
+// annotateRoofline fills RooflineEff for every benchmark whose flop rate
+// and intensity are known: measured flop/s over the spec's roofline bound.
+func annotateRoofline(bs []Benchmark, spec *machine.Spec) {
+	for i := range bs {
+		g, ok := bs[i].Metrics["GFLOPS"]
+		if !ok {
+			continue
+		}
+		ai, ok := rooflineIntensity(stripProcs(bs[i].Name))
+		if !ok {
+			continue
+		}
+		eff := g * 1e9 / roofline.Attainable(spec, ai)
+		bs[i].RooflineEff = &eff
+	}
 }
 
 // labBenchmarks projects a lab report's successful experiments into the
@@ -167,12 +249,19 @@ func offsetPos(data []byte, offset int64) (line, col int) {
 
 // run reads bench text (or an auto-detected lab report) from stdin and an
 // optional lab report from labPath, and writes the merged JSON to stdout.
-func run(stdin io.Reader, stdout io.Writer, labPath string) error {
+// machineName picks the preset whose roofline bounds the GFLOPS benchmarks
+// are scored against.
+func run(stdin io.Reader, stdout io.Writer, labPath, machineName string) error {
+	spec := machine.Preset(machineName)
+	if spec == nil {
+		return fmt.Errorf("unknown machine %q", machineName)
+	}
 	rep := Report{
-		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:            time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		RooflineMachine: spec.Name,
 	}
 
 	if labPath != "" {
@@ -220,6 +309,7 @@ func run(stdin io.Reader, stdout io.Writer, labPath string) error {
 		}
 	}
 
+	annotateRoofline(rep.Benchmarks, spec)
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -241,6 +331,7 @@ func peekNonSpace(br *bufio.Reader) (byte, error) {
 
 func main() {
 	labPath := flag.String("lab", "", "embed a wastelab -json lab report from this file")
+	machineName := flag.String("machine", "petascale2009", "machine preset whose roofline bound scores the GFLOPS benchmarks")
 	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json; exit 1 if any benchmark regressed")
 	threshold := flag.Float64("threshold", 25, "with -diff, flag a benchmark whose suite-relative slowdown exceeds this percentage (widened automatically when the whole run is noisy)")
 	flag.Parse()
@@ -259,7 +350,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdin, os.Stdout, *labPath); err != nil {
+	if err := run(os.Stdin, os.Stdout, *labPath, *machineName); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"tenways"
+	"tenways/internal/machine"
+	"tenways/internal/roofline"
 )
 
 func TestParseLine(t *testing.T) {
@@ -63,7 +65,7 @@ func TestLabReportRoundTrip(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := run(strings.NewReader(string(blob)+"\n"), &out, ""); err != nil {
+	if err := run(strings.NewReader(string(blob)+"\n"), &out, "", "petascale2009"); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -93,7 +95,7 @@ func TestLabReportRoundTrip(t *testing.T) {
 func TestBenchTextStillParses(t *testing.T) {
 	in := "goos: linux\nBenchmarkMatmul-8\t123\t456789 ns/op\nPASS\n"
 	var out strings.Builder
-	if err := run(strings.NewReader(in), &out, ""); err != nil {
+	if err := run(strings.NewReader(in), &out, "", "petascale2009"); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -158,7 +160,7 @@ func TestMalformedLabReport(t *testing.T) {
 
 	// The error must also surface through run()'s stdin auto-detect path.
 	var out strings.Builder
-	if err := run(strings.NewReader(`{"machine": 3}`), &out, ""); err == nil {
+	if err := run(strings.NewReader(`{"machine": 3}`), &out, "", "petascale2009"); err == nil {
 		t.Fatal("run swallowed a malformed piped lab report")
 	}
 }
@@ -176,5 +178,67 @@ func TestOffsetPos(t *testing.T) {
 		if l, c := offsetPos(data, tc.off); l != tc.line || c != tc.col {
 			t.Errorf("offsetPos(%d) = %d:%d, want %d:%d", tc.off, l, c, tc.line, tc.col)
 		}
+	}
+}
+
+// TestCustomMetricsAndRoofline covers the metrics map and the roofline
+// efficiency column: ReportMetric pairs land in Metrics keyed by unit, the
+// GFLOPS-reporting kernels with a known intensity get roofline_eff =
+// flops / Attainable on the reference preset, and everything else is left
+// un-annotated.
+func TestCustomMetricsAndRoofline(t *testing.T) {
+	b, ok := parseLine("BenchmarkPDESIdleWave/parts=8    \t13\t90994763 ns/op\t5.401 Mevents/s\t8617264 B/op\t155 allocs/op")
+	if !ok {
+		t.Fatal("metric line not parsed")
+	}
+	if b.Metrics["Mevents/s"] != 5.401 {
+		t.Fatalf("Metrics = %v, want Mevents/s 5.401", b.Metrics)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 8617264 || b.AllocsPerOp == nil || *b.AllocsPerOp != 155 {
+		t.Fatalf("benchmem fields lost next to a custom metric: %+v", b)
+	}
+
+	for name, want := range map[string]string{
+		"BenchmarkMeasuredFFT/4096-8":   "BenchmarkMeasuredFFT/4096",
+		"BenchmarkMeasuredFFT/4096":     "BenchmarkMeasuredFFT/4096",
+		"BenchmarkMatmul-16":            "BenchmarkMatmul",
+		"BenchmarkPDESIdleWave/parts=8": "BenchmarkPDESIdleWave/parts=8",
+	} {
+		if got := stripProcs(name); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", name, got, want)
+		}
+	}
+
+	in := "BenchmarkMeasuredMatmul/naive-8\t100\t2000000 ns/op\t7.08 GFLOPS\n" +
+		"BenchmarkMeasuredTriad-8\t500\t800000 ns/op\t12000 MB/s\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out, "", "petascale2009"); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RooflineMachine != "petascale2009" {
+		t.Fatalf("roofline_machine = %q", rep.RooflineMachine)
+	}
+	mm := rep.Benchmarks[0]
+	if mm.RooflineEff == nil {
+		t.Fatalf("no roofline_eff on %s: %+v", mm.Name, mm)
+	}
+	ai, ok := rooflineIntensity("BenchmarkMeasuredMatmul/naive")
+	if !ok {
+		t.Fatal("naive matmul intensity missing")
+	}
+	want := 7.08e9 / roofline.Attainable(machine.Petascale2009(), ai)
+	if diff := *mm.RooflineEff - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("roofline_eff = %v, want %v", *mm.RooflineEff, want)
+	}
+	if rep.Benchmarks[1].RooflineEff != nil {
+		t.Fatalf("triad (no GFLOPS metric) got roofline_eff %v", *rep.Benchmarks[1].RooflineEff)
+	}
+
+	if err := run(strings.NewReader(""), &strings.Builder{}, "", "notamachine"); err == nil {
+		t.Fatal("unknown machine preset accepted")
 	}
 }

@@ -1,0 +1,75 @@
+package pdes
+
+// Cross-partition batches are chains of fixed-capacity chunks drawn from
+// per-partition free lists, so steady-state windows recycle the same slabs
+// instead of growing append slices: an emitting partition draws chunks from
+// its own free list, and the receiving partition returns drained chunks to
+// its own — chunks migrate along communication flows, and under any
+// roughly symmetric traffic pattern (halo exchange, the idle wave) every
+// free list reaches a steady population and the window loop stops
+// allocating entirely (gated by TestWindowLoopSteadyStateZeroAlloc).
+//
+// No locks, no atomics: a free list is only ever touched by the single
+// worker currently running its partition, and the double-buffered batch
+// parity guarantees the drain of a (src,dst) chain never overlaps the fill
+// of the same chain.
+
+// chunkEvents is the chunk capacity; at 40 bytes per Event a chunk is a
+// ~10KB slab — big enough that chain-link overhead vanishes, small enough
+// that sparse (src,dst) pairs don't strand much memory.
+const chunkEvents = 256
+
+// chunk is one fixed-capacity slab in a batch chain or a free list.
+type chunk struct {
+	next *chunk
+	n    int
+	ev   [chunkEvents]Event
+}
+
+// batch is the chunk chain for one (src partition, dst partition, parity):
+// events in emission order, delivered in order and re-heapified by the
+// receiver.
+type batch struct {
+	head, tail *chunk
+}
+
+// add appends ev, drawing a fresh chunk from the arena when the tail is
+// full (or the chain is empty).
+func (b *batch) add(ev Event, a *arena) {
+	c := b.tail
+	if c == nil || c.n == chunkEvents {
+		c = a.get()
+		if b.tail == nil {
+			b.head = c
+		} else {
+			b.tail.next = c
+		}
+		b.tail = c
+	}
+	c.ev[c.n] = ev
+	c.n++
+}
+
+// arena is one partition's chunk free list. Owner-exclusive: no
+// synchronisation (see the package comment above).
+type arena struct {
+	free   *chunk
+	allocs uint64 // chunks allocated fresh (free list empty) — cold-path count
+}
+
+func (a *arena) get() *chunk {
+	c := a.free
+	if c == nil {
+		a.allocs++
+		return new(chunk)
+	}
+	a.free = c.next
+	c.next = nil
+	return c
+}
+
+func (a *arena) put(c *chunk) {
+	c.n = 0
+	c.next = a.free
+	a.free = c
+}

@@ -1,13 +1,19 @@
 // Package pdes is the partitioned, conservatively-synchronized parallel
 // discrete-event simulation engine — the million-rank successor to the
 // single-heap internal/sim kernel. Ranks are split into contiguous
-// partitions, each with its own event heap; partitions advance together
-// through fixed virtual-time windows of one lookahead, the lower bound on
-// any cross-partition message delay. Within a window every partition
-// processes its events independently; events bound for another partition
-// are buffered into per-(src,dst) batches and delivered at the next window
-// boundary — the paper's W7 aggregation remedy applied to the engine
-// itself.
+// partitions, each with its own pending-event queue (a ladder/calendar
+// queue by default, a binary heap via Config.Queue); partitions advance
+// together through fixed virtual-time windows of one lookahead, the lower
+// bound on any cross-partition message delay. Within a window every
+// partition processes its events independently; events bound for another
+// partition are buffered into per-(src,dst) chunk chains drawn from
+// per-partition slab arenas and delivered at the next window boundary —
+// the paper's W7 aggregation remedy applied to the engine itself, with
+// zero steady-state allocation. Multi-worker runs synchronise windows
+// through a padded sense-reversing barrier with an inline GVT min-reduce
+// (Config.Barrier selects the old chan hand-off for comparison), and a
+// resolved worker count of 1 runs the window loop inline with no
+// goroutines at all.
 //
 // Determinism: every event carries the key (Time, Src, Seq) where Seq is a
 // per-source emission counter, so keys are unique and heap order is total.
@@ -74,22 +80,81 @@ type Workload interface {
 // maxPartitions bounds the P x P cross-partition batch matrix.
 const maxPartitions = 256
 
+// QueueKind selects the per-partition pending-event structure. Both kinds
+// pop in the identical (Time, Src, Seq) total order, so results are
+// byte-identical either way — only speed changes.
+type QueueKind int
+
+const (
+	// QueueLadder (the default) is the ladder/calendar queue: near-future
+	// bucket ring + far-future overflow, O(1) amortized push and pops
+	// paying only the per-bucket population.
+	QueueLadder QueueKind = iota
+	// QueueHeap is the classic binary heap: O(log n) push and pop at the
+	// full partition depth — the wasteful baseline F29 tables.
+	QueueHeap
+)
+
+func (k QueueKind) String() string {
+	if k == QueueHeap {
+		return "heap"
+	}
+	return "ladder"
+}
+
+// BarrierKind selects the per-window worker synchronisation for
+// multi-worker runs. Irrelevant to results (and skipped entirely when the
+// resolved worker count is 1 — the window loop runs inline).
+type BarrierKind int
+
+const (
+	// BarrierSense (the default) is a padded sense-reversing barrier with
+	// the GVT min-reduce inlined into the coordinator: one atomic publish
+	// and one bounded spin per worker per window.
+	BarrierSense BarrierKind = iota
+	// BarrierChan is the chan-broadcast + report-channel hand-off: two
+	// channel operations per worker per window — the wasteful baseline
+	// F29 tables.
+	BarrierChan
+)
+
+func (k BarrierKind) String() string {
+	if k == BarrierChan {
+		return "chan"
+	}
+	return "sense"
+}
+
 // Config parameterises a Run.
 type Config struct {
 	// Partitions splits the ranks into this many contiguous blocks;
 	// <= 0 selects 8. Clamped to [1, min(Ranks, 256)].
 	Partitions int
 	// Workers bounds the goroutines processing partitions; <= 0 selects
-	// one per partition. Clamped to [1, Partitions]. Any worker count
-	// produces identical results — only wall time changes.
+	// min(Partitions, GOMAXPROCS) — more workers than cores only adds
+	// scheduling churn. A resolved count of 1 runs the window loop inline
+	// with no goroutines or barrier at all. Clamped to [1, Partitions].
+	// Any worker count produces identical results — only wall time
+	// changes.
 	Workers int
 	// Lookahead is the window length in virtual seconds: the lower bound
 	// on incoming cross-partition timestamps. Must be positive and no
 	// larger than the workload's minimum cross-rank message delay.
 	Lookahead float64
+	// Queue selects the pending-event discipline; the zero value is the
+	// remedied QueueLadder.
+	Queue QueueKind
+	// BucketWidth is the ladder queue's bucket width in virtual seconds;
+	// <= 0 derives Lookahead/4. Ignored under QueueHeap. Tunable
+	// F29-bucket searches this knob against the engine cost model.
+	BucketWidth float64
+	// Barrier selects the multi-worker window hand-off; the zero value is
+	// the remedied BarrierSense.
+	Barrier BarrierKind
 	// Obs receives the run's engine metrics (pdes.events, pdes.windows,
-	// pdes.window_stalls, pdes.cross_events, pdes.cross_batches); nil
-	// keeps the engine silent.
+	// pdes.window_stalls, pdes.cross_events, pdes.cross_batches,
+	// pdes.chunk_allocs, pdes.ladder_respreads); nil keeps the engine
+	// silent.
 	Obs *obs.Registry
 }
 

@@ -2,10 +2,36 @@ package pdes
 
 import (
 	"errors"
+	"flag"
 	"math"
 	"strings"
 	"testing"
 )
+
+var (
+	flagQueue   = flag.String("pdes-queue", "", `override Config.Queue in package tests ("heap" or "ladder")`)
+	flagBarrier = flag.String("pdes-barrier", "", `override Config.Barrier in package tests ("chan" or "sense")`)
+)
+
+// testCfg applies the package test flags so CI can re-run the whole
+// determinism suite under either queue discipline and barrier kind:
+//
+//	go test -race ./internal/pdes -args -pdes-queue=heap -pdes-barrier=chan
+func testCfg(cfg Config) Config {
+	switch *flagQueue {
+	case "heap":
+		cfg.Queue = QueueHeap
+	case "ladder":
+		cfg.Queue = QueueLadder
+	}
+	switch *flagBarrier {
+	case "chan":
+		cfg.Barrier = BarrierChan
+	case "sense":
+		cfg.Barrier = BarrierSense
+	}
+	return cfg
+}
 
 func mustWave(t *testing.T, n, steps int, compute, spike float64, offsets []int, delays []float64) *IdleWave {
 	t.Helper()
@@ -27,7 +53,7 @@ func TestIdleWaveDeterministicAcrossConfigs(t *testing.T) {
 	}
 
 	base := mk()
-	bres, err := Run(base, Config{Partitions: 1, Workers: 1, Lookahead: base.MinDelay()})
+	bres, err := Run(base, testCfg(Config{Partitions: 1, Workers: 1, Lookahead: base.MinDelay()}))
 	if err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
@@ -46,7 +72,7 @@ func TestIdleWaveDeterministicAcrossConfigs(t *testing.T) {
 	for _, cfg := range configs {
 		w := mk()
 		cfg.Lookahead = w.MinDelay()
-		res, err := Run(w, cfg)
+		res, err := Run(w, testCfg(cfg))
 		if err != nil {
 			t.Fatalf("run %d/%d: %v", cfg.Partitions, cfg.Workers, err)
 		}
@@ -76,7 +102,7 @@ func TestIdleWaveMatchesClassicKernel(t *testing.T) {
 	offsets, delays := []int{1, 3}, []float64{2e-6, 4e-6}
 
 	pw := mustWave(t, n, steps, c, 3*c, offsets, delays)
-	pres, err := Run(pw, Config{Partitions: 8, Workers: 4, Lookahead: pw.MinDelay()})
+	pres, err := Run(pw, testCfg(Config{Partitions: 8, Workers: 4, Lookahead: pw.MinDelay()}))
 	if err != nil {
 		t.Fatalf("partitioned run: %v", err)
 	}
@@ -106,7 +132,7 @@ func TestIdleWaveSpeedMatchesAnalytic(t *testing.T) {
 	const n, steps = 2048, 12
 	const c = 50e-6
 	w := mustWave(t, n, steps, c, 3*c, []int{1}, []float64{2e-6})
-	if _, err := Run(w, Config{Partitions: 8, Lookahead: w.MinDelay()}); err != nil {
+	if _, err := Run(w, testCfg(Config{Partitions: 8, Lookahead: w.MinDelay()})); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	speed, fit, perturbed, err := w.WaveSpeed()
@@ -133,7 +159,7 @@ func TestIdleWaveQuietStaysOnSchedule(t *testing.T) {
 	const n, steps = 128, 6
 	const c = 50e-6
 	w := mustWave(t, n, steps, c, 0, []int{1, 2}, []float64{2e-6, 3e-6})
-	res, err := Run(w, Config{Partitions: 4, Lookahead: w.MinDelay()})
+	res, err := Run(w, testCfg(Config{Partitions: 4, Lookahead: w.MinDelay()}))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -183,19 +209,19 @@ func (w *crossEmit) Handle(s Sched, ev Event) {
 func TestLookaheadViolationReported(t *testing.T) {
 	const look = 1e-6
 	w := &crossEmit{n: 2, at: look, delay: look / 2}
-	_, err := Run(w, Config{Partitions: 2, Lookahead: look})
+	_, err := Run(w, testCfg(Config{Partitions: 2, Lookahead: look}))
 	if err == nil || !strings.Contains(err.Error(), "lookahead violation") {
 		t.Fatalf("got %v, want a lookahead violation", err)
 	}
 
 	// The same emission with delay >= lookahead is legal.
 	ok := &crossEmit{n: 2, at: look, delay: look}
-	if _, err := Run(ok, Config{Partitions: 2, Lookahead: look}); err != nil {
+	if _, err := Run(ok, testCfg(Config{Partitions: 2, Lookahead: look})); err != nil {
 		t.Fatalf("legal delay rejected: %v", err)
 	}
 
 	// And on a single partition nothing crosses, so no gate applies.
-	if _, err := Run(&crossEmit{n: 2, at: look, delay: look / 2}, Config{Partitions: 1, Lookahead: look}); err != nil {
+	if _, err := Run(&crossEmit{n: 2, at: look, delay: look / 2}, testCfg(Config{Partitions: 1, Lookahead: look})); err != nil {
 		t.Fatalf("single-partition run rejected: %v", err)
 	}
 }
@@ -211,7 +237,7 @@ func (w *badDst) Init(s Sched, rank int) {
 func (w *badDst) Handle(Sched, Event) {}
 
 func TestBadDestinationReported(t *testing.T) {
-	_, err := Run(&badDst{n: 4}, Config{Partitions: 2, Lookahead: 1e-6})
+	_, err := Run(&badDst{n: 4}, testCfg(Config{Partitions: 2, Lookahead: 1e-6}))
 	if err == nil || !strings.Contains(err.Error(), "outside") {
 		t.Fatalf("got %v, want an out-of-range destination error", err)
 	}
@@ -230,7 +256,7 @@ func (w *panicky) Handle(s Sched, ev Event) {
 }
 
 func TestHandlerPanicRecovered(t *testing.T) {
-	_, err := Run(&panicky{n: 4}, Config{Partitions: 4, Lookahead: 1e-6})
+	_, err := Run(&panicky{n: 4}, testCfg(Config{Partitions: 4, Lookahead: 1e-6}))
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("got %v, want the recovered handler panic", err)
 	}
@@ -274,6 +300,38 @@ func TestCostModelShape(t *testing.T) {
 			rising = true
 		} else if rising {
 			t.Fatalf("cost model not unimodal: dips again at parts=%d", parts)
+		}
+		prev = wall
+	}
+}
+
+func TestLadderCostModelShape(t *testing.T) {
+	m := CostModel{
+		Events: 1 << 22, Ranks: 1 << 20, Horizon: 1e-3,
+		EventSec: 100e-9, BarrierSec: 5e-6, PartSec: 2e-6, BucketSec: 1e-6,
+	}
+	const cores = 8
+	const look = 2e-6
+
+	if !math.IsInf(m.LadderWall(8, cores, look, 0), 1) {
+		t.Error("zero bucket width should cost +Inf")
+	}
+	// The ladder at any sane width beats the heap model: that is the
+	// tentpole's claim in model form.
+	if m.LadderWall(8, cores, look, look/4) >= m.Wall(8, cores, look) {
+		t.Error("ladder model should beat the heap model at the default width")
+	}
+
+	// Unimodal in the bucket width over a doubling grid — required by the
+	// golden-section tuner owning F29-bucket.
+	prev := math.Inf(1)
+	rising := false
+	for div := 1; div <= 1<<12; div *= 2 {
+		wall := m.LadderWall(8, cores, look, look/float64(div))
+		if wall > prev {
+			rising = true
+		} else if rising {
+			t.Fatalf("ladder cost model not unimodal: dips again at divisor=%d", div)
 		}
 		prev = wall
 	}

@@ -1,8 +1,29 @@
 package pdes
 
-// Per-partition event queues are hand-rolled binary heaps over Event
-// values: no container/heap interface boxing, no per-event allocation, and
-// the slab backing each heap is reused for the life of the run.
+// Per-partition pending-event queues come in two disciplines, selectable
+// via Config.Queue:
+//
+//   - QueueHeap: a hand-rolled binary heap over Event values — O(log n)
+//     push and pop at the full partition depth, with 40-byte element swaps
+//     down every level. The wasteful baseline F29 tables.
+//   - QueueLadder: a ladder (calendar) queue — a ring of near-future
+//     buckets one Config.BucketWidth of virtual time wide, a far-future
+//     overflow list, and a sorted run of already-merged events popped by
+//     index increment. Pushes are O(1) appends; each event is sorted once,
+//     inside its own small bucket, when the rung frontier reaches it; pops
+//     are a copy and a bounds check.
+//
+// The ladder's correctness hinges on one property: the bucket index
+// idx(t) = floor((t-base)/width) is monotone in t, so every event in
+// bucket i precedes every event in bucket j > i, and a sorted bucket can
+// simply be appended to the sorted run — merging is concatenation. The
+// same idx expression that places a push also guards the pop: the run's
+// head is safe to pop iff its bucket has been merged (idx <= cur) or
+// nothing else is pending. Both disciplines therefore pop in the exact
+// total order (Time, Src, Seq) and produce byte-identical engine results
+// (property-tested in queue_test.go). Neither boxes events or allocates
+// per event; bucket, run, and overflow slabs are reused for the life of
+// the run.
 
 // evLess orders events by the total key (Time, Src, Seq). Seq is unique
 // per source, so no two events compare equal and pop order is a total
@@ -15,6 +36,19 @@ func evLess(a, b *Event) bool {
 		return a.Src < b.Src
 	}
 	return a.Seq < b.Seq
+}
+
+// evQueue is the discipline interface the window loop drives. peek may
+// restructure the queue (the ladder merges buckets lazily) but never
+// changes the pop order.
+type evQueue interface {
+	push(ev Event)
+	// peek returns the minimum pending timestamp; ok is false when empty.
+	peek() (t float64, ok bool)
+	// pop removes and returns the minimum event. The caller guarantees the
+	// queue is non-empty (peek returned ok).
+	pop() Event
+	len() int
 }
 
 // heapPush inserts ev, sifting up.
@@ -58,4 +92,254 @@ func heapPop(h *[]Event) Event {
 		i = m
 	}
 	return top
+}
+
+// binHeap is the classic single binary heap discipline.
+type binHeap struct {
+	h []Event
+}
+
+func (q *binHeap) push(ev Event) { heapPush(&q.h, ev) }
+func (q *binHeap) pop() Event    { return heapPop(&q.h) }
+func (q *binHeap) len() int      { return len(q.h) }
+
+func (q *binHeap) peek() (float64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Time, true
+}
+
+// ladderBuckets is the rung size: the near-future array spans
+// ladderBuckets * width of virtual time ahead of base.
+const ladderBuckets = 256
+
+// ladder is the calendar-queue discipline. Invariants:
+//
+//   - every bucket with index <= cur is empty (already merged into run);
+//   - pending counts the events in buckets and over;
+//   - run[head:] is sorted by (Time, Src, Seq), and its head is safe to
+//     pop iff idx(run[head].Time) <= cur or nothing else is pending —
+//     otherwise an unmerged bucket could still hold an earlier event.
+type ladder struct {
+	base    float64 // virtual time of bucket 0's left edge
+	width   float64 // bucket width in virtual seconds
+	cur     int     // highest bucket index merged into run; -1 = none
+	pending int     // events in buckets + over
+
+	run     []Event // merged events; run[head:] is the sorted pop sequence
+	head    int     // next pop index into run
+	over    []Event // far-future events beyond the rung, unordered
+	buckets [ladderBuckets][]Event
+
+	merges    uint64 // buckets merged into the run
+	respreads uint64 // rung rebuilds from the overflow list
+}
+
+func newLadder(width float64) *ladder {
+	return &ladder{width: width, cur: -1}
+}
+
+// idx maps a timestamp to its bucket index: -1 for times at or below the
+// merged frontier's origin, ladderBuckets for times beyond the rung. This
+// exact computation decides both placement (push) and pop safety (ensure);
+// since floor((t-base)/width) is monotone in t, two events never invert.
+func (q *ladder) idx(t float64) int {
+	r := (t - q.base) / q.width
+	if !(r >= 0) { // also catches NaN from inf-inf; treat as already merged
+		return -1
+	}
+	if r >= ladderBuckets {
+		return ladderBuckets
+	}
+	return int(r)
+}
+
+func (q *ladder) push(ev Event) {
+	switch i := q.idx(ev.Time); {
+	case i <= q.cur:
+		q.pushRun(ev)
+	case i >= ladderBuckets:
+		q.over = append(q.over, ev)
+		q.pending++
+	default:
+		b := q.buckets[i]
+		if cap(b) == 0 {
+			// First touch: skip the 1-2-4-... growth chain of memmoves.
+			b = make([]Event, 0, 64)
+		}
+		q.buckets[i] = append(b, ev)
+		q.pending++
+	}
+}
+
+// pushRun inserts an event whose bucket has already been merged into the
+// sorted run: binary search for its slot, shift the tail. This is the slow
+// push path — it only triggers for events scheduled at (or clamped to) the
+// emitting handler's own timestamp, e.g. RunProcs resume events; banded
+// workloads never take it.
+func (q *ladder) pushRun(ev Event) {
+	lo, hi := q.head, len(q.run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if evLess(&q.run[mid], &ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.run = append(q.run, Event{})
+	copy(q.run[lo+1:], q.run[lo:])
+	q.run[lo] = ev
+}
+
+func (q *ladder) len() int { return len(q.run) - q.head + q.pending }
+
+func (q *ladder) peek() (float64, bool) {
+	if !q.ensure() {
+		return 0, false
+	}
+	return q.run[q.head].Time, true
+}
+
+func (q *ladder) pop() Event {
+	q.ensure()
+	ev := q.run[q.head]
+	q.head++
+	if q.head == len(q.run) {
+		q.run = q.run[:0]
+		q.head = 0
+	}
+	return ev
+}
+
+// ensure advances the rung until the run's head is provably the global
+// minimum (or the queue is empty). Each iteration merges one non-empty
+// bucket or respreads the overflow, so it terminates: pending strictly
+// decreases on merge, and a respread always lands at least one event (the
+// overflow minimum) in a bucket for the next iteration.
+func (q *ladder) ensure() bool {
+	for {
+		if q.head < len(q.run) && (q.pending == 0 || q.idx(q.run[q.head].Time) <= q.cur) {
+			return true
+		}
+		if q.pending == 0 {
+			return false
+		}
+		q.advance()
+	}
+}
+
+// advance merges the next non-empty bucket into the run, or — when the
+// rung is exhausted — rebases it on the overflow list's minimum and
+// respreads. Merging is concatenation: every event in an unmerged bucket
+// follows every event already in the run (bucket monotonicity), so the
+// bucket is sorted in isolation and appended.
+func (q *ladder) advance() {
+	for i := q.cur + 1; i < ladderBuckets; i++ {
+		if len(q.buckets[i]) == 0 {
+			continue
+		}
+		q.cur = i
+		b := q.buckets[i]
+		q.pending -= len(b)
+		if q.head == len(q.run) {
+			q.run = q.run[:0]
+			q.head = 0
+		} else if q.head > 32 && q.head > len(q.run)-q.head {
+			// Compact the consumed prefix so the run slab stops growing.
+			n := copy(q.run, q.run[q.head:])
+			q.run = q.run[:n]
+			q.head = 0
+		}
+		start := len(q.run)
+		q.run = append(q.run, b...)
+		sortEvents(q.run[start:])
+		q.buckets[i] = b[:0]
+		q.merges++
+		return
+	}
+	// Rung exhausted; everything pending is in the overflow. The engine
+	// only reaches here with pending > 0, so over is non-empty.
+	q.respread()
+}
+
+// respread rebases the rung at the overflow minimum and redistributes the
+// overflow into buckets, compacting what still lands beyond the rung back
+// into the overflow slab in place.
+func (q *ladder) respread() {
+	q.respreads++
+	min := q.over[0].Time
+	for i := 1; i < len(q.over); i++ {
+		if q.over[i].Time < min {
+			min = q.over[i].Time
+		}
+	}
+	q.base = min
+	q.cur = -1
+	kept := q.over[:0]
+	for _, ev := range q.over {
+		if i := q.idx(ev.Time); i < ladderBuckets {
+			if i < 0 {
+				i = 0 // ev.Time == min lands exactly on the new base
+			}
+			q.buckets[i] = append(q.buckets[i], ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	q.over = kept
+}
+
+// sortEvents sorts in place by (Time, Src, Seq): median-of-three quicksort
+// recursing into the smaller side, insertion sort below 13 — no interface
+// boxing, no closure allocation, deterministic on any input.
+func sortEvents(a []Event) {
+	for len(a) > 12 {
+		p := partitionEvents(a)
+		if p < len(a)-p-1 {
+			sortEvents(a[:p])
+			a = a[p+1:]
+		} else {
+			sortEvents(a[p+1:])
+			a = a[:p]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		ev := a[i]
+		j := i
+		for j > 0 && evLess(&ev, &a[j-1]) {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = ev
+	}
+}
+
+// partitionEvents sorts a[0], a[mid], a[len-1] into place, parks the
+// median pivot at len-2, Lomuto-partitions the interior, and returns the
+// pivot's final index. Keys are unique, so no equal-pivot pathology.
+func partitionEvents(a []Event) int {
+	n := len(a)
+	m := n / 2
+	if evLess(&a[m], &a[0]) {
+		a[m], a[0] = a[0], a[m]
+	}
+	if evLess(&a[n-1], &a[m]) {
+		a[n-1], a[m] = a[m], a[n-1]
+		if evLess(&a[m], &a[0]) {
+			a[m], a[0] = a[0], a[m]
+		}
+	}
+	a[m], a[n-2] = a[n-2], a[m]
+	pivot := a[n-2]
+	i := 1
+	for j := 1; j < n-2; j++ {
+		if evLess(&a[j], &pivot) {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[n-2] = a[n-2], a[i]
+	return i
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"net/http"
@@ -28,7 +29,8 @@ import (
 //	GET  /v1/experiments   the experiment catalog
 //	GET  /v1/run           run one experiment (?id, ?machine, ?seed, ?quick,
 //	                       ?format, ?timeout) through cache + coalescing +
-//	                       admission
+//	                       admission; sets a per-format ETag and answers
+//	                       If-None-Match revalidations with a bodyless 304
 //	GET  /v1/runall        run many experiments (?ids=F1,F2,... or the whole
 //	                       suite) through the same per-experiment path
 //	POST /v1/diagnose      map a trace breakdown to waste modes
@@ -117,6 +119,45 @@ type runEntry struct {
 	Output  core.Output
 	Metrics obs.Snapshot
 	WallMS  float64
+	// Hash fingerprints Output+Metrics once at creation; handleRun derives
+	// the ETag from it, so revalidation never re-serialises the entry.
+	Hash string
+}
+
+// hashEntry fingerprints the stable content of a run entry. WallMS and the
+// transport fields (Cached, Coalesced) are deliberately excluded: serving
+// the same cached entity again must yield the same validator even though
+// those bookkeeping fields differ per response.
+func hashEntry(e *runEntry) string {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	enc.Encode(e.Output)
+	enc.Encode(e.Metrics)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// etagFor is the strong validator for one entry rendered in one format.
+// The format is part of the tag because the same cached entry serves every
+// rendering, and a client that revalidates its text copy must not get a
+// 304 for the JSON body it never saw.
+func etagFor(ent *runEntry, format string) string {
+	if format == "" {
+		format = "json"
+	}
+	return `"` + ent.Hash + "-" + format + `"`
+}
+
+// ifNoneMatchHas reports whether an If-None-Match header names the tag.
+// Weak-comparison per RFC 9110 §8.8.3.2: a W/ prefix on the client's copy
+// still matches, and "*" matches any current representation.
+func ifNoneMatchHas(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if part != "" && (part == "*" || part == etag) {
+			return true
+		}
+	}
+	return false
 }
 
 // runResponse is the /v1/run JSON body.
@@ -228,6 +269,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Cache", cacheHeader(cached))
+	etag := etagFor(ent, format)
+	w.Header().Set("ETag", etag)
+	if ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	resp := runResponse{
 		ID:        e.ID,
 		Title:     e.Title,
@@ -391,6 +439,7 @@ func (s *Server) runShared(ctx context.Context, key, id string, cfg core.Config)
 			return nil, err
 		}
 		e := &runEntry{Output: out, Metrics: reg.Snapshot(), WallMS: float64(wall) / float64(time.Millisecond)}
+		e.Hash = hashEntry(e)
 		s.cache.Put(key, e)
 		return e, nil
 	})

@@ -109,8 +109,8 @@ type Server struct {
 
 	// Hot-path instruments, resolved once so request handling touches only
 	// atomics (and the sharded ones mostly core-private lines).
-	reqs, hits, misses, coalesced, rejected, timeouts, errs *obs.ShardedCounter
-	queueWait, runSec                                       *obs.Timer
+	reqs, hits, misses, coalesced, rejected, timeouts, errs, notModified *obs.ShardedCounter
+	queueWait, runSec                                                    *obs.Timer
 }
 
 // New returns a Server over the lab. A nil lab selects core.NewLab().
@@ -121,22 +121,23 @@ func New(lab Lab, opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Obs
 	return &Server{
-		lab:       lab,
-		opts:      opts,
-		reg:       reg,
-		cache:     cache.New[any](opts.CacheSize, 0),
-		flight:    newFlight(),
-		adm:       newAdmission(opts.Parallel, opts.QueueDepth),
-		tuneCache: tune.NewCache(),
-		reqs:      reg.Sharded("serve.requests"),
-		hits:      reg.Sharded("serve.cache_hits"),
-		misses:    reg.Sharded("serve.cache_misses"),
-		coalesced: reg.Sharded("serve.coalesced"),
-		rejected:  reg.Sharded("serve.rejected"),
-		timeouts:  reg.Sharded("serve.timeouts"),
-		errs:      reg.Sharded("serve.errors"),
-		queueWait: reg.Timer("serve.queue_wait_seconds"),
-		runSec:    reg.Timer("serve.run_seconds"),
+		lab:         lab,
+		opts:        opts,
+		reg:         reg,
+		cache:       cache.New[any](opts.CacheSize, 0),
+		flight:      newFlight(),
+		adm:         newAdmission(opts.Parallel, opts.QueueDepth),
+		tuneCache:   tune.NewCache(),
+		reqs:        reg.Sharded("serve.requests"),
+		hits:        reg.Sharded("serve.cache_hits"),
+		misses:      reg.Sharded("serve.cache_misses"),
+		coalesced:   reg.Sharded("serve.coalesced"),
+		rejected:    reg.Sharded("serve.rejected"),
+		timeouts:    reg.Sharded("serve.timeouts"),
+		errs:        reg.Sharded("serve.errors"),
+		notModified: reg.Sharded("serve.not_modified"),
+		queueWait:   reg.Timer("serve.queue_wait_seconds"),
+		runSec:      reg.Timer("serve.run_seconds"),
 	}
 }
 

@@ -426,3 +426,79 @@ func TestOptionsDefaults(t *testing.T) {
 func TestRealLabSatisfiesInterface(t *testing.T) {
 	var _ Lab = core.NewLab()
 }
+
+// TestRunETagRevalidation covers the conditional-GET path on /v1/run: the
+// first response carries a format-qualified ETag, revalidating with
+// If-None-Match (including weak and list forms) gets a bodyless 304, a
+// different format never matches the JSON tag, and a stale tag gets the
+// full body again.
+func TestRunETagRevalidation(t *testing.T) {
+	_, ts := newTestServer(t, &stubLab{}, Options{})
+	url := ts.URL + "/v1/run?id=E1"
+
+	code, hdr, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("first GET: status %d: %s", code, body)
+	}
+	etag := hdr.Get("ETag")
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `-json"`) {
+		t.Fatalf("ETag = %q, want a quoted json-suffixed tag", etag)
+	}
+
+	revalidate := func(t *testing.T, url, inm string) (int, http.Header, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", inm)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, b
+	}
+
+	for _, inm := range []string{etag, "W/" + etag, `"zzz", ` + etag, "*"} {
+		code, hdr, body := revalidate(t, url, inm)
+		if code != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status %d, want 304", inm, code)
+		}
+		if len(body) != 0 {
+			t.Fatalf("If-None-Match %q: 304 carried a %d-byte body", inm, len(body))
+		}
+		if hdr.Get("ETag") != etag {
+			t.Fatalf("304 ETag = %q, want %q", hdr.Get("ETag"), etag)
+		}
+	}
+
+	// The JSON tag must not validate the text rendering: same cached entry,
+	// different representation.
+	code, hdr, body = revalidate(t, url+"&format=text", etag)
+	if code != http.StatusOK {
+		t.Fatalf("format=text with json tag: status %d, want 200", code)
+	}
+	if len(body) == 0 {
+		t.Fatal("format=text with json tag: empty body")
+	}
+	textTag := hdr.Get("ETag")
+	if textTag == etag || !strings.HasSuffix(textTag, `-text"`) {
+		t.Fatalf("text ETag = %q, want a distinct -text tag (json was %q)", textTag, etag)
+	}
+
+	// A stale tag re-serves the body.
+	code, _, body = revalidate(t, url, `"deadbeef-json"`)
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stale tag: status %d, body %d bytes, want full 200", code, len(body))
+	}
+
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	if n := counterValue(t, metrics, "serve.not_modified"); n != 4 {
+		t.Fatalf("serve.not_modified = %v, want 4 (one per matching revalidation)", n)
+	}
+}
