@@ -22,14 +22,15 @@ test: build
 lint:
 	$(GO) run ./cmd/wastevet $(if $(LINT_JSON),-json $(LINT_JSON)) ./...
 
-# Tier-2 verify: static analysis + race detector. The pdes package runs a
-# second time under its non-default disciplines (binary-heap queue +
-# chan-broadcast barrier) so both engine hot paths stay race-clean and
-# result-identical.
+# Tier-2 verify: static analysis + race detector. The pdes package runs
+# again under its non-default disciplines (binary-heap queue +
+# chan-broadcast barrier, then optimistic Time-Warp sync) so every engine
+# hot path stays race-clean and result-identical.
 race: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/pdes -args -pdes-queue=heap -pdes-barrier=chan
+	$(GO) test -race ./internal/pdes -args -pdes-sync=optimistic
 
 # Full benchmark suite (use BENCH=<regex> to narrow).
 BENCH ?= .

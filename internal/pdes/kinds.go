@@ -1,0 +1,146 @@
+package pdes
+
+import "fmt"
+
+// This file is the one shared home of the engine's enum knobs. Every kind
+// has a canonical String form and a Parse function, and implements
+// flag.Value, so the bench flags, wastelab, and the daemon's query params
+// all route through the same parser instead of growing per-site switches.
+
+// QueueKind selects the per-partition pending-event structure. Both kinds
+// pop in the identical (Time, Src, Seq) total order, so results are
+// byte-identical either way — only speed changes.
+type QueueKind int
+
+const (
+	// QueueLadder (the default) is the ladder/calendar queue: near-future
+	// bucket ring + far-future overflow, O(1) amortized push and pops
+	// paying only the per-bucket population.
+	QueueLadder QueueKind = iota
+	// QueueHeap is the classic binary heap: O(log n) push and pop at the
+	// full partition depth — the wasteful baseline F29 tables.
+	QueueHeap
+)
+
+// String returns the canonical spelling ("ladder", "heap") accepted by
+// ParseQueueKind.
+func (k QueueKind) String() string {
+	if k == QueueHeap {
+		return "heap"
+	}
+	return "ladder"
+}
+
+// Set implements flag.Value via ParseQueueKind.
+func (k *QueueKind) Set(s string) error {
+	v, err := ParseQueueKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseQueueKind parses the canonical String form of a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "ladder":
+		return QueueLadder, nil
+	case "heap":
+		return QueueHeap, nil
+	}
+	return 0, fmt.Errorf("%w: queue %q (want ladder or heap)", ErrConfig, s)
+}
+
+// BarrierKind selects the per-window worker synchronisation for
+// multi-worker runs. Irrelevant to results (and skipped entirely when the
+// resolved worker count is 1 — the window loop runs inline).
+type BarrierKind int
+
+const (
+	// BarrierSense (the default) is a padded sense-reversing barrier with
+	// the GVT min-reduce inlined into the coordinator: one atomic publish
+	// and one bounded spin per worker per window.
+	BarrierSense BarrierKind = iota
+	// BarrierChan is the chan-broadcast + report-channel hand-off: two
+	// channel operations per worker per window — the wasteful baseline
+	// F29 tables.
+	BarrierChan
+)
+
+// String returns the canonical spelling ("sense", "chan") accepted by
+// ParseBarrierKind.
+func (k BarrierKind) String() string {
+	if k == BarrierChan {
+		return "chan"
+	}
+	return "sense"
+}
+
+// Set implements flag.Value via ParseBarrierKind.
+func (k *BarrierKind) Set(s string) error {
+	v, err := ParseBarrierKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseBarrierKind parses the canonical String form of a BarrierKind.
+func ParseBarrierKind(s string) (BarrierKind, error) {
+	switch s {
+	case "sense":
+		return BarrierSense, nil
+	case "chan":
+		return BarrierChan, nil
+	}
+	return 0, fmt.Errorf("%w: barrier %q (want sense or chan)", ErrConfig, s)
+}
+
+// SyncKind selects the synchronisation discipline: wait out the window
+// bound (conservative) or speculate past it and repair (optimistic
+// Time Warp). Results are byte-identical either way — optimism only
+// changes how much work is executed to commit them.
+type SyncKind int
+
+const (
+	// SyncConservative (the default) processes only events below the
+	// window bound gvt+lookahead; no event is ever rolled back.
+	SyncConservative SyncKind = iota
+	// SyncOptimistic speculates past the window bound with periodic state
+	// checkpoints, rolling back on straggler arrival and cancelling
+	// in-flight emissions with anti-messages. Requires the workload to
+	// implement StatefulWorkload.
+	SyncOptimistic
+)
+
+// String returns the canonical spelling ("conservative", "optimistic")
+// accepted by ParseSyncKind.
+func (k SyncKind) String() string {
+	if k == SyncOptimistic {
+		return "optimistic"
+	}
+	return "conservative"
+}
+
+// Set implements flag.Value via ParseSyncKind.
+func (k *SyncKind) Set(s string) error {
+	v, err := ParseSyncKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseSyncKind parses the canonical String form of a SyncKind.
+func ParseSyncKind(s string) (SyncKind, error) {
+	switch s {
+	case "conservative":
+		return SyncConservative, nil
+	case "optimistic":
+		return SyncOptimistic, nil
+	}
+	return 0, fmt.Errorf("%w: sync %q (want conservative or optimistic)", ErrConfig, s)
+}

@@ -1,6 +1,7 @@
 package pdes
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -56,6 +57,85 @@ func TestProcsPingPongDeterministicAcrossConfigs(t *testing.T) {
 	}
 	if bres.Events == 0 {
 		t.Fatal("ping-pong processed no events")
+	}
+}
+
+// TestProcsResumeLadderFrontierAtBoundaries targets the ladder's
+// binary-search run insertion behind the merge frontier: zero-delay
+// Advance resumes schedule self events at exactly the popped time, which
+// land behind the frontier mid-merge, while adjacent ranks ping-pong
+// across partition boundaries so the resumes interleave with cross
+// arrivals. Tiny bucket widths force constant respreads; the per-rank
+// ledgers must still match the serial run at every partition count.
+func TestProcsResumeLadderFrontierAtBoundaries(t *testing.T) {
+	const n = 48
+	const rounds = 12
+	const look = 1e-6
+
+	run := func(cfg Config) ([]float64, Result) {
+		t.Helper()
+		ledger := make([]float64, n)
+		cfg.Lookahead = look
+		cfg.Queue = QueueLadder
+		res, err := RunProcs(n, cfg, func(p *Proc) {
+			// Neighbour pairing (0<->1, 2<->3, ...) keeps traffic on
+			// partition boundaries whenever the partition size is odd.
+			partner := p.ID() ^ 1
+			acc := 0.0
+			for i := 0; i < rounds; i++ {
+				p.Send(partner, look*float64(1+i%2), float64(i))
+				// A burst of zero-delay resumes: each lands at p.Now()
+				// exactly, behind the ladder's merge frontier.
+				for k := 0; k <= i%3; k++ {
+					p.Advance(0)
+					acc += p.Now() * 1e6
+				}
+				m := p.Recv()
+				acc += m.Data*7 + m.Time*1e6
+				p.Advance(look / 4)
+			}
+			ledger[p.ID()] = acc
+		})
+		if err != nil {
+			t.Fatalf("parts=%d width=%g: %v", cfg.Partitions, cfg.BucketWidth, err)
+		}
+		return ledger, res
+	}
+
+	base, bres := run(Config{Partitions: 1, Workers: 1})
+	if bres.Events == 0 {
+		t.Fatal("frontier ping-pong processed no events")
+	}
+	for _, cfg := range []Config{
+		{Partitions: 3, Workers: 1, BucketWidth: look / 128}, // odd size: pairs straddle boundaries
+		{Partitions: 5, Workers: 2, BucketWidth: look / 128},
+		{Partitions: 16, Workers: 4, BucketWidth: look / 16},
+		{Partitions: 48, Workers: 8, BucketWidth: look * 1e4}, // every pair cross, one giant bucket
+	} {
+		ledger, res := run(cfg)
+		if res.Events != bres.Events || res.VirtualTime != bres.VirtualTime {
+			t.Errorf("parts=%d width=%g: (%d events, t=%g), baseline (%d, t=%g)",
+				cfg.Partitions, cfg.BucketWidth, res.Events, res.VirtualTime, bres.Events, bres.VirtualTime)
+		}
+		for r := range ledger {
+			if ledger[r] != base[r] {
+				t.Fatalf("parts=%d width=%g: rank %d ledger %g, baseline %g",
+					cfg.Partitions, cfg.BucketWidth, r, ledger[r], base[r])
+			}
+		}
+	}
+}
+
+// TestProcsOptimisticRejected: the procs adapter hides rank state inside
+// goroutine stacks, which no checkpoint can capture, so the optimistic
+// engine must refuse it with the typed capability error.
+func TestProcsOptimisticRejected(t *testing.T) {
+	_, err := RunProcs(4, Config{Partitions: 2, Lookahead: 1e-6, Sync: SyncOptimistic}, func(p *Proc) {})
+	if !errors.Is(err, ErrNotStateful) {
+		t.Fatalf("got %v, want ErrNotStateful", err)
+	}
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("capability rejection %v should wrap ErrConfig", err)
 	}
 }
 

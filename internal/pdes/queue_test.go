@@ -123,11 +123,18 @@ func (w *randWorkload) Handle(s Sched, ev Event) {
 	}
 }
 
+// Snapshot/Restore make randWorkload a StatefulWorkload so the property
+// grid covers the optimistic engine: the per-rank trace chain is the whole
+// mutable state, and it doubles as the sharpest possible rollback probe —
+// one event replayed, skipped, or reordered changes every subsequent hash.
+func (w *randWorkload) Snapshot(rank int) any      { return w.trace[rank] }
+func (w *randWorkload) Restore(rank int, snap any) { w.trace[rank] = snap.(uint64) }
+
 // TestQueueEquivalenceProperty is the tentpole's safety net: seeded random
-// workloads through every engine configuration — both queue disciplines,
-// extreme bucket widths, both barriers, partition counts that do not
-// divide the rank count — must produce byte-identical results and
-// per-rank trace chains.
+// workloads through every engine configuration — both sync disciplines,
+// both queue disciplines, extreme bucket widths and checkpoint intervals,
+// both barriers, partition counts that do not divide the rank count — must
+// produce byte-identical results and per-rank trace chains.
 func TestQueueEquivalenceProperty(t *testing.T) {
 	const n = 96
 	const look = 2e-6
@@ -140,7 +147,14 @@ func TestQueueEquivalenceProperty(t *testing.T) {
 		{Partitions: 16, Workers: 4, Queue: QueueLadder, BucketWidth: look * 1e4}, // one giant bucket
 		{Partitions: 16, Workers: 4, Queue: QueueHeap, Barrier: BarrierChan},
 		{Partitions: 16, Workers: 4, Queue: QueueLadder, Barrier: BarrierSense},
+		{Partitions: 1, Workers: 1, Queue: QueueLadder, Sync: SyncOptimistic},
+		{Partitions: 7, Workers: 1, Queue: QueueHeap, Sync: SyncOptimistic},
+		{Partitions: 7, Workers: 3, Queue: QueueLadder, Sync: SyncOptimistic, CheckpointInterval: 1}, // checkpoint every event
+		{Partitions: 16, Workers: 4, Queue: QueueLadder, Sync: SyncOptimistic, CheckpointInterval: 7},
+		{Partitions: 16, Workers: 4, Queue: QueueHeap, Sync: SyncOptimistic, Barrier: BarrierChan},
+		{Partitions: 16, Workers: 4, Queue: QueueLadder, Sync: SyncOptimistic, Barrier: BarrierSense, BucketWidth: look / 64},
 	}
+	var antis uint64
 	for _, seed := range []uint64{1, 0xabcdef, 77777} {
 		base := newRandWorkload(n, seed, look)
 		bres, err := Run(base, Config{Partitions: 1, Workers: 1, Queue: QueueHeap, Lookahead: look})
@@ -157,6 +171,7 @@ func TestQueueEquivalenceProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d config %d (%+v): %v", seed, ci, cfg, err)
 			}
+			antis += res.AntiMessages
 			if res.Events != bres.Events || res.VirtualTime != bres.VirtualTime {
 				t.Errorf("seed %d config %d (queue=%v parts=%d): events %d / vt %g, baseline %d / %g",
 					seed, ci, cfg.Queue, cfg.Partitions, res.Events, res.VirtualTime, bres.Events, bres.VirtualTime)
@@ -168,6 +183,14 @@ func TestQueueEquivalenceProperty(t *testing.T) {
 				}
 			}
 		}
+	}
+	// The random workload's multi-partition fan-out makes rollbacks undo
+	// cross-emitting handlers, so the anti-message path must have fired —
+	// the byte-identical traces above prove annihilation got every stale
+	// copy. (The idle wave never exercises it: its stragglers always land
+	// after the done cluster they belong to, so only halo receipts unwind.)
+	if antis == 0 {
+		t.Error("optimistic configs sent no anti-messages; cancellation path untested")
 	}
 }
 

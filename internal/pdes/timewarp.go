@@ -1,0 +1,410 @@
+package pdes
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the optimistic (Time Warp) half of the engine: per-partition
+// speculative execution past the window bound, sparse periodic state
+// checkpoints, rollback on straggler arrival with coast-forward replay,
+// anti-message cancellation riding the same parity-buffered delivery
+// discipline as the positive chunk chains, and fossil collection at every
+// GVT advance. GVT itself is the number the conservative engine already
+// computes — the sense-reversing barrier's inline min-reduce (or its chan
+// and serial twins) folds queue heads and in-flight cross minima into gmin,
+// and each window hands every partition wend = gvt + lookahead. Everything
+// below wend - lookahead is committed history; everything at or above it is
+// provisional and undoable.
+//
+// Determinism: committed results are byte-identical to the conservative
+// engine because rollback restores both workload state (StatefulWorkload
+// snapshots) and the per-source emission counters, so re-execution
+// regenerates exactly the events the first execution produced — stale
+// copies meet their annihilation tokens by full value match, and the
+// committed log ends up in the same (Time, Src, Seq) order the
+// conservative engine processes.
+
+const (
+	// defaultCheckpointInterval is the events-per-segment default when
+	// Config.CheckpointInterval is unset; tunable F30-interval searches
+	// the knob.
+	defaultCheckpointInterval = 64
+
+	// twSpecWindows bounds optimism: a partition speculates at most this
+	// many lookahead windows past the committed bound, so a straggler can
+	// only ever unwind a bounded horizon and rollback cascades stay tame.
+	twSpecWindows = 8
+)
+
+// twSeg is one checkpoint segment: the sparse state needed to rewind to
+// the segment's start. Snapshots are taken copy-on-first-touch — a rank
+// appears in saved only if one of its events executed inside the segment —
+// together with the rank's emission counter, so both state and event keys
+// rewind in lockstep.
+type twSeg struct {
+	startPos int // log index where the segment begins
+	saved    map[int32]any
+	savedSeq map[int32]uint32
+}
+
+// twEmit records one speculative emission so rollback can cancel it: the
+// emitting handler's log position, the destination partition, and the full
+// event value (the anti-message payload).
+type twEmit struct {
+	ev  Event
+	pos int
+	dst int32
+}
+
+// twPart is one partition's Time-Warp state.
+type twPart struct {
+	sw StatefulWorkload
+
+	active   bool // false until Init completes (Init emissions are committed)
+	coasting bool // replaying committed history: suppress emissions, keep seq side effects
+
+	interval int     // events per checkpoint segment
+	log      []Event // processed events since the fossil line, in pop order (Time-nondecreasing)
+	segs     []twSeg // checkpoint segments over log
+	out      []twEmit
+	// cancel is the annihilation multiset: full event value -> pending
+	// token count. Keying by the whole Event (not just the (Time, Src,
+	// Seq) identity) means a rolled-back emission cancels exactly the
+	// stale copy it produced even if replay regenerates a same-key event
+	// with different payload.
+	cancel map[Event]int32
+	// committedT is the timestamp of the newest fossil-collected event —
+	// what lastT rewinds to when a rollback empties the whole log.
+	committedT float64
+
+	executed    uint64 // handler invocations, including replays and aborted speculation
+	rollbacks   uint64
+	undone      uint64 // log entries rolled back
+	antis       uint64 // anti-messages sent cross-partition
+	annihilated uint64 // positive/anti pairs destroyed at pop
+	checkpoints uint64 // segments opened
+}
+
+func newTwPart(sw StatefulWorkload, interval int) *twPart {
+	return &twPart{
+		sw:         sw,
+		interval:   interval,
+		cancel:     make(map[Event]int32),
+		committedT: math.Inf(-1),
+	}
+}
+
+// runWindowTW is runWindow's optimistic twin. The same contract — drain the
+// opposite parity, process, report the partition's lower bound on future
+// work — but processing runs past wend up to a bounded speculation horizon,
+// after first repairing any stragglers or anti-messages the drain surfaced.
+func (e *engine) runWindowTW(d int, wend float64, window int) (lmin float64, failed bool) {
+	lmin = math.Inf(1)
+	ps := &e.parts[d]
+	tw := ps.tw
+	defer func() {
+		if r := recover(); r != nil {
+			if ps.err == nil {
+				ps.err = fmt.Errorf("pdes: partition %d handler panicked: %v", d, r)
+			}
+			failed = true
+		}
+	}()
+	if ps.err != nil {
+		return lmin, true
+	}
+
+	// Fossil collection: wend - lookahead is this round's GVT (the
+	// barrier fold's gmin); history strictly below it can never be rolled
+	// back again, so release whole checkpoint segments and their
+	// snapshots.
+	tw.fossil(wend - e.look)
+
+	wp := window & 1
+	ps.crossMin = math.Inf(1)
+	s := &ps.sched
+	s.parity = wp
+	s.wend = wend
+
+	// Drain anti-messages before positives: a rollback emitted in the
+	// same round as its victims lands both in the same parity, and the
+	// token must be banked before the stale positive is pushed.
+	rbTime := math.Inf(1)
+	for sp := 0; sp < e.p; sp++ {
+		slot := &e.antis[1-wp][sp*e.p+d]
+		for _, av := range *slot {
+			if av.Time <= ps.lastT && av.Time < rbTime {
+				rbTime = av.Time
+			}
+			tw.cancel[av]++
+		}
+		*slot = (*slot)[:0]
+	}
+	q := ps.q
+	for sp := 0; sp < e.p; sp++ {
+		bt := &e.bufs[1-wp][sp*e.p+d]
+		for c := bt.head; c != nil; {
+			for i := 0; i < c.n; i++ {
+				ev := c.ev[i]
+				if ev.Time <= ps.lastT && ev.Time < rbTime {
+					rbTime = ev.Time
+				}
+				q.push(ev)
+			}
+			nx := c.next
+			ps.arena.put(c)
+			c = nx
+		}
+		bt.head, bt.tail = nil, nil
+	}
+
+	// One rollback to the minimum trigger repairs every straggler and
+	// secondary (anti-past) arrival at once.
+	if !math.IsInf(rbTime, 1) {
+		e.rollbackTW(ps, rbTime)
+	}
+
+	specEnd := wend + twSpecWindows*e.look
+	processed := uint64(0)
+	for {
+		t, ok := q.peek()
+		if !ok || t >= specEnd {
+			break
+		}
+		ev := q.pop()
+		if nt := tw.cancel[ev]; nt > 0 {
+			if nt == 1 {
+				delete(tw.cancel, ev)
+			} else {
+				tw.cancel[ev] = nt - 1
+			}
+			tw.annihilated++
+			continue
+		}
+		if len(tw.segs) == 0 || len(tw.log)-tw.segs[len(tw.segs)-1].startPos >= tw.interval {
+			tw.newSeg(len(tw.log))
+		}
+		seg := &tw.segs[len(tw.segs)-1]
+		if _, saved := seg.saved[ev.Dst]; !saved {
+			seg.saved[ev.Dst] = tw.sw.Snapshot(int(ev.Dst))
+			seg.savedSeq[ev.Dst] = e.seq[ev.Dst]
+		}
+		s.now = ev.Time
+		s.src = ev.Dst
+		ps.lastT = ev.Time
+		aborted := e.handleSpec(s, ev, wend)
+		if ps.err != nil && ev.Time >= wend {
+			// An error raised on speculative input is as provisional as
+			// the state that provoked it; discard it with the speculation.
+			ps.err = nil
+			aborted = true
+		}
+		if aborted {
+			// The handler panicked or failed on speculative input — a
+			// state the committed schedule may never reach (e.g. a halo
+			// from a partition several steps ahead popping before the
+			// straggler that orders it). Undo everything at or after the
+			// event, requeue it, and stop speculating: the conservative
+			// prefix below wend always completes, so GVT still advances
+			// and the event re-executes once its missing past has
+			// arrived. A panic below wend is committed territory and is
+			// re-raised into the recovery above instead.
+			e.rollbackTW(ps, ev.Time)
+			q.push(ev)
+			break
+		}
+		tw.log = append(tw.log, ev)
+		ps.events++
+		processed++
+		if ps.err != nil {
+			failed = true
+			break
+		}
+	}
+	if processed == 0 {
+		ps.stalls++
+	}
+	if m := ps.crossMin; m < lmin {
+		lmin = m
+	}
+	if t, ok := q.peek(); ok && t < lmin {
+		lmin = t
+	}
+	return lmin, failed
+}
+
+// handleSpec runs one handler, converting a panic on speculative input
+// (ev.Time >= wend) into a reported abort; panics in committed territory
+// propagate to runWindowTW's recovery like the conservative engine's.
+func (e *engine) handleSpec(s *partSched, ev Event, wend float64) (aborted bool) {
+	s.ps.tw.executed++
+	defer func() {
+		if r := recover(); r != nil {
+			if ev.Time < wend {
+				panic(r)
+			}
+			aborted = true
+		}
+	}()
+	e.w.Handle(s, ev)
+	return false
+}
+
+func (tw *twPart) newSeg(pos int) {
+	tw.segs = append(tw.segs, twSeg{
+		startPos: pos,
+		saved:    make(map[int32]any),
+		savedSeq: make(map[int32]uint32),
+	})
+	tw.checkpoints++
+}
+
+// rollbackTW rewinds partition ps so that every processed event with
+// Time >= t is undone: workload state and emission counters are restored
+// from checkpoints, the segment prefix is replayed (coast-forward, with
+// emissions suppressed), undone events return to the queue, and every
+// emission of an undone handler is cancelled — a token into the local
+// annihilation multiset for same-partition sends, an anti-message through
+// the parity buffers for cross-partition ones. Undoing by timestamp rather
+// than by full key over-rolls equal-time neighbours, which is safe (replay
+// is deterministic and duplicates annihilate) where under-rolling would
+// not be: the log is only Time-nondecreasing, not key-sorted, because a
+// handler may legally emit an equal-time event with a smaller key.
+func (e *engine) rollbackTW(ps *partState, t float64) {
+	tw := ps.tw
+	lo, hi := 0, len(tw.log)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tw.log[mid].Time < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	undoFrom := lo
+	if n := len(tw.log) - undoFrom; n > 0 {
+		tw.rollbacks++
+		tw.undone += uint64(n)
+		ps.events -= uint64(n)
+	}
+
+	// Cancel emissions of undone handlers (reverse scan: out is
+	// pos-nondecreasing).
+	for i := len(tw.out) - 1; i >= 0 && tw.out[i].pos >= undoFrom; i-- {
+		em := tw.out[i]
+		if int(em.dst) == ps.sched.part {
+			tw.cancel[em.ev]++
+		} else {
+			slot := &e.antis[ps.sched.parity][ps.sched.part*e.p+int(em.dst)]
+			*slot = append(*slot, em.ev)
+			tw.antis++
+			if em.ev.Time < ps.crossMin {
+				// The anti-message holds GVT down exactly like a positive
+				// in flight, so the receiver repairs before time passes it.
+				ps.crossMin = em.ev.Time
+			}
+		}
+		tw.out = tw.out[:i]
+	}
+
+	if len(tw.segs) == 0 {
+		// Nothing processed since the fossil line: no state to restore.
+		ps.lastT = tw.committedT
+		return
+	}
+
+	// Restore snapshots newest-first down to the segment containing
+	// undoFrom: older segments overwrite newer ones, so each touched rank
+	// ends at its oldest (deepest) saved state — the state at that
+	// segment's start.
+	si := len(tw.segs) - 1
+	for si > 0 && tw.segs[si].startPos > undoFrom {
+		si--
+	}
+	for j := len(tw.segs) - 1; j >= si; j-- {
+		seg := &tw.segs[j]
+		//lint:ignore maprange restore order is irrelevant: per-rank restores are independent and touch disjoint state
+		for r, snap := range seg.saved {
+			tw.sw.Restore(int(r), snap)
+			e.seq[r] = seg.savedSeq[r]
+		}
+	}
+
+	// Coast forward: replay the committed prefix of the segment to carry
+	// state from the checkpoint to the rollback point. Emissions are
+	// suppressed (the originals are still in flight or logged) but the
+	// emission counters advance, so the later live replay regenerates
+	// identical keys.
+	if start := tw.segs[si].startPos; start < undoFrom {
+		s := &ps.sched
+		savedNow, savedSrc := s.now, s.src
+		tw.coasting = true
+		for i := start; i < undoFrom; i++ {
+			ev := tw.log[i]
+			s.now = ev.Time
+			s.src = ev.Dst
+			tw.executed++
+			e.w.Handle(s, ev)
+		}
+		tw.coasting = false
+		s.now, s.src = savedNow, savedSrc
+	}
+
+	// Undone events go back in the queue to re-execute in repaired order.
+	// They were popped in (Time, Src, Seq) order, so the log suffix is
+	// already sorted and pushSorted merges it in one pass — per-event
+	// pushes would each memmove the ladder's run tail, quadratic in the
+	// rollback depth (a measured 180x wall blowup at 64k-rank F30 scale).
+	ps.q.pushSorted(tw.log[undoFrom:])
+	tw.log = tw.log[:undoFrom]
+	tw.segs = tw.segs[:si+1]
+	if undoFrom > 0 {
+		ps.lastT = tw.log[undoFrom-1].Time
+	} else {
+		ps.lastT = tw.committedT
+	}
+}
+
+// fossil commits history strictly below gvt: whole checkpoint segments
+// whose events can never be rolled back again are dropped, their snapshots
+// released, and the emission records rebased. Only segment-granular
+// prefixes are released so the segment containing the commit horizon stays
+// intact for future rollbacks.
+func (tw *twPart) fossil(gvt float64) {
+	if len(tw.segs) < 2 {
+		return
+	}
+	lo, hi := 0, len(tw.log)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tw.log[mid].Time < gvt {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first provisional entry; keep its segment whole.
+	si := len(tw.segs) - 1
+	for si > 0 && tw.segs[si].startPos > lo {
+		si--
+	}
+	cut := tw.segs[si].startPos
+	if cut == 0 {
+		return
+	}
+	tw.committedT = tw.log[cut-1].Time
+	tw.log = append(tw.log[:0], tw.log[cut:]...)
+	tw.segs = append(tw.segs[:0], tw.segs[si:]...)
+	for i := range tw.segs {
+		tw.segs[i].startPos -= cut
+	}
+	kept := tw.out[:0]
+	for _, em := range tw.out {
+		if em.pos >= cut {
+			em.pos -= cut
+			kept = append(kept, em)
+		}
+	}
+	tw.out = kept
+}

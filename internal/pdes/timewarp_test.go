@@ -1,0 +1,119 @@
+package pdes
+
+import (
+	"errors"
+	"testing"
+)
+
+// statelessProbe is a Workload without the StatefulWorkload capability —
+// the optimistic engine must refuse it with a typed error.
+type statelessProbe struct{ n int }
+
+func (w *statelessProbe) Ranks() int { return w.n }
+func (w *statelessProbe) Init(s Sched, rank int) {
+	s.At(rank, 1e-6, 1, 0, 0)
+}
+func (w *statelessProbe) Handle(Sched, Event) {}
+
+func TestOptimisticRejectsStatelessWorkload(t *testing.T) {
+	_, err := Run(&statelessProbe{n: 4}, Config{Partitions: 2, Lookahead: 1e-6, Sync: SyncOptimistic})
+	if !errors.Is(err, ErrNotStateful) {
+		t.Fatalf("got %v, want ErrNotStateful", err)
+	}
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("capability rejection %v should wrap ErrConfig for the daemon's 400 mapping", err)
+	}
+	// The identical workload runs fine conservatively.
+	if _, err := Run(&statelessProbe{n: 4}, Config{Partitions: 2, Lookahead: 1e-6}); err != nil {
+		t.Fatalf("conservative run of the same workload failed: %v", err)
+	}
+}
+
+// TestTimeWarpMatchesConservative is the tentpole's headline contract on
+// the real workload: a spiked idle wave under the optimistic engine
+// commits byte-identical results to the conservative engine while actually
+// speculating — rollbacks observed, efficiency below 1, checkpoints taken.
+func TestTimeWarpMatchesConservative(t *testing.T) {
+	const n, steps = 512, 8
+	const c = 50e-6
+	mk := func() *IdleWave {
+		return mustWave(t, n, steps, c, 8*c, []int{1, 4}, []float64{2e-6, 3e-6})
+	}
+
+	base := mk()
+	bres, err := Run(base, testCfgCons(Config{Partitions: 1, Workers: 1, Lookahead: base.MinDelay()}))
+	if err != nil {
+		t.Fatalf("conservative baseline: %v", err)
+	}
+
+	for _, cfg := range []Config{
+		{Partitions: 2, Workers: 1},
+		{Partitions: 8, Workers: 4},
+		{Partitions: 8, Workers: 4, Queue: QueueHeap},
+		{Partitions: 8, Workers: 4, Barrier: BarrierChan},
+		{Partitions: 8, Workers: 4, CheckpointInterval: 1},
+		{Partitions: 8, Workers: 4, CheckpointInterval: 5},
+		{Partitions: 8, Workers: 4, CheckpointInterval: 4096},
+		{Partitions: 5, Workers: 3, BucketWidth: 1e-6},
+	} {
+		w := mk()
+		cfg.Sync = SyncOptimistic
+		cfg.Lookahead = w.MinDelay()
+		res, err := Run(w, cfg)
+		if err != nil {
+			t.Fatalf("optimistic %+v: %v", cfg, err)
+		}
+		if res.Events != bres.Events || res.VirtualTime != bres.VirtualTime {
+			t.Errorf("optimistic parts=%d interval=%d: committed %d events / vt %g, conservative %d / %g",
+				cfg.Partitions, cfg.CheckpointInterval, res.Events, res.VirtualTime, bres.Events, bres.VirtualTime)
+		}
+		for r := 0; r < n; r++ {
+			if w.Arrival(r) != base.Arrival(r) {
+				t.Fatalf("optimistic parts=%d interval=%d: rank %d arrival %g, conservative %g",
+					cfg.Partitions, cfg.CheckpointInterval, r, w.Arrival(r), base.Arrival(r))
+			}
+		}
+		if res.Checkpoints == 0 {
+			t.Errorf("optimistic parts=%d: no checkpoint segments opened", cfg.Partitions)
+		}
+		if res.Executed < res.Events {
+			t.Errorf("optimistic parts=%d: executed %d < committed %d", cfg.Partitions, res.Executed, res.Events)
+		}
+		if cfg.Partitions > 1 {
+			if res.Rollbacks == 0 || res.RolledBack == 0 {
+				t.Errorf("optimistic parts=%d: no rollbacks observed (%d episodes, %d undone) — speculation never ran ahead",
+					cfg.Partitions, res.Rollbacks, res.RolledBack)
+			}
+			if eff := res.Efficiency(); eff >= 1 {
+				t.Errorf("optimistic parts=%d: efficiency %g, want < 1 with rollbacks", cfg.Partitions, eff)
+			}
+		}
+	}
+
+	// Conservative results report no speculation and unit efficiency.
+	if bres.Executed != 0 || bres.Rollbacks != 0 || bres.Efficiency() != 1 {
+		t.Errorf("conservative result carries speculation counters: %+v", bres)
+	}
+}
+
+// TestTimeWarpRepairsSubLookahead: the emission the conservative gate
+// rejects (TestLookaheadViolationReported) is legal under optimism — the
+// cross event lands as a straggler and rollback repairs the schedule
+// instead of reporting an error.
+func TestTimeWarpRepairsSubLookahead(t *testing.T) {
+	const look = 1e-6
+	serial := &crossEmit{n: 2, at: look, delay: look / 2}
+	sres, err := Run(serial, Config{Partitions: 1, Workers: 1, Lookahead: look})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	opt := &crossEmit{n: 2, at: look, delay: look / 2}
+	ores, err := Run(opt, Config{Partitions: 2, Workers: 1, Lookahead: look, Sync: SyncOptimistic})
+	if err != nil {
+		t.Fatalf("optimistic run rejected the sub-lookahead cross emission: %v", err)
+	}
+	if ores.Events != sres.Events || ores.VirtualTime != sres.VirtualTime {
+		t.Errorf("optimistic committed %d events / vt %g, serial %d / %g",
+			ores.Events, ores.VirtualTime, sres.Events, sres.VirtualTime)
+	}
+}
