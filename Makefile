@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-json bench-diff quick smoke clean
+.PHONY: all build test lint fix fix-clean race bench bench-json bench-diff quick smoke clean
 
 all: test
 
@@ -21,6 +21,15 @@ test: build
 # readable findings report.
 lint:
 	$(GO) run ./cmd/wastevet $(if $(LINT_JSON),-json $(LINT_JSON)) ./...
+
+# Apply every suggested fix in place (fix), or assert that doing so changes
+# nothing (fix-clean — the CI gate: a tree where wastevet -fix would edit
+# files means a mechanical cleanup was committed half-done).
+fix:
+	$(GO) run ./cmd/wastevet -fix ./...
+
+fix-clean: fix
+	git diff --exit-code
 
 # Tier-2 verify: static analysis + race detector. The pdes package runs
 # again under its non-default disciplines (binary-heap queue +

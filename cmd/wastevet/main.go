@@ -1,19 +1,24 @@
 // Command wastevet runs the waste-mode static analyzer over the repo: the
-// determinism guards that keep the modelled plane byte-identical, and the
-// source-level mirrors of the keynote's ten ways. It follows wastelab's
-// conventions: renderer-backed table output, a JSON report for machine
-// consumers, and a non-zero exit when anything is wrong.
+// determinism guards that keep the modelled plane byte-identical, the
+// source-level mirrors of the keynote's ten ways, and the interprocedural
+// flow rules (lock order, guarded fields, goroutine leaks, close/WaitGroup
+// discipline). It follows wastelab's conventions: renderer-backed table
+// output, a JSON report for machine consumers, and a non-zero exit when
+// anything is wrong.
 //
 // Usage:
 //
 //	wastevet ./...
-//	wastevet -rules wallclock,atomicpad internal/obs
+//	wastevet -rules wallclock,lockorder internal/obs
 //	wastevet -format markdown -suppressed ./...
+//	wastevet -format sarif ./...
+//	wastevet -fix -n ./...   # dry run: print the diff the fixes would make
+//	wastevet -fix ./...      # apply every suggested fix in place
 //	wastevet -json wastevet.json ./...
 //	wastevet -list
 //
-// Exit status: 0 when no unsuppressed finding, 1 when findings remain,
-// 2 for usage or load errors.
+// Exit status: 0 when no unsuppressed finding remains (fixed counts as
+// resolved), 1 when findings remain, 2 for usage or load errors.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"strings"
 
 	"tenways/internal/lint"
+	_ "tenways/internal/lint/flow" // registers the interprocedural rules
 	"tenways/internal/report"
 )
 
@@ -31,24 +37,28 @@ func main() {
 	var (
 		list       = flag.Bool("list", false, "list rules and exit")
 		rules      = flag.String("rules", "", "comma-separated rule subset (default: all)")
-		format     = flag.String("format", "ascii", "summary table format: ascii, markdown, csv, json")
+		format     = flag.String("format", "ascii", "output format: ascii, markdown, csv, json, sarif")
 		jsonPath   = flag.String("json", "", "write a JSON findings report to this file ('-' for stdout)")
 		suppressed = flag.Bool("suppressed", false, "also print suppressed findings")
+		fix        = flag.Bool("fix", false, "apply suggested fixes to the files in place")
+		dryRun     = flag.Bool("n", false, "with -fix, print the diff instead of writing files")
 	)
 	flag.Parse()
 
 	if *list {
 		if err := (report.ASCII{}).Table(os.Stdout, lint.CatalogTable("LINT", "wastevet rule catalog", nil)); err != nil {
-			fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		return
 	}
 
-	renderer, err := report.RendererByName(*format)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
-		os.Exit(2)
+	var renderer report.Renderer
+	if *format != "sarif" {
+		var err error
+		renderer, err = report.RendererByName(*format)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg := lint.DefaultConfig()
@@ -59,27 +69,43 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := lint.Run(cfg, patterns...)
+	loader, err := lint.NewLoader()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lint.Analyze(cfg, loader.Root(), pkgs)
+	if err != nil {
+		fatal(err)
 	}
 
-	for _, f := range res.Findings {
-		if f.Suppressed && !*suppressed {
-			continue
-		}
-		fmt.Println(f.String())
+	if *fix {
+		runFix(loader.Root(), res, *dryRun)
+		return
 	}
-	if err := renderer.Table(os.Stdout, lint.CatalogTable("LINT", lint.Summary(res), res)); err != nil {
-		fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
-		os.Exit(2)
+
+	if *format == "sarif" {
+		if err := lint.WriteSARIF(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range res.Findings {
+			if f.Suppressed && !*suppressed {
+				continue
+			}
+			fmt.Println(f.String())
+		}
+		if err := renderer.Table(os.Stdout, lint.CatalogTable("LINT", lint.Summary(res), res)); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, res); err != nil {
-			fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		if *jsonPath != "-" {
 			fmt.Printf("wrote %s\n", *jsonPath)
@@ -89,6 +115,46 @@ func main() {
 	if len(res.Unsuppressed()) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runFix applies (or, in a dry run, diffs) every suggested fix. A finding
+// whose fix was applied counts as resolved; anything unsuppressed and
+// unfixable keeps the exit status at 1 so CI still fails on it.
+func runFix(root string, res *lint.Result, dryRun bool) {
+	out, err := lint.ApplyFixes(root, res.Findings)
+	if err != nil {
+		fatal(err)
+	}
+	if dryRun {
+		diff, err := lint.DiffFixes(root, out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(diff)
+		fmt.Printf("wastevet -fix -n: %d edit(s) across %d file(s), %d skipped\n",
+			out.Applied, len(out.Changed), out.Skipped)
+	} else {
+		if err := lint.WriteFixes(root, out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wastevet -fix: applied %d edit(s) across %d file(s), %d skipped\n",
+			out.Applied, len(out.Changed), out.Skipped)
+	}
+	remaining := 0
+	for _, f := range res.Unsuppressed() {
+		if f.Fix == nil {
+			remaining++
+			fmt.Println(f.String())
+		}
+	}
+	if remaining > 0 || out.Skipped > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wastevet: %v\n", err)
+	os.Exit(2)
 }
 
 // writeJSON writes the findings document to path, or stdout for "-".

@@ -19,7 +19,7 @@ func TestLabHasFullSuite(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "T5",
 		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10",
 		"F11", "F12", "F13", "F14", "T6", "T7", "F15", "F16", "F17", "F18", "F19", "F20", "F21",
-		"T8", "F22", "F23", "F24", "F25", "T9", "F26", "T10", "F27", "T11", "T12", "F28", "F29", "F30"}
+		"T8", "F22", "F23", "F24", "F25", "T9", "F26", "T10", "F27", "T11", "T12", "F28", "F29", "F30", "T13"}
 	ids := l.IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments, want %d", len(ids), len(want))
@@ -230,6 +230,33 @@ func TestGetCaseInsensitive(t *testing.T) {
 		}
 		if !strings.EqualFold(e.ID, id) {
 			t.Errorf("Get(%q) returned %s", id, e.ID)
+		}
+	}
+}
+
+func TestT13ByteIdentical(t *testing.T) {
+	// The autofix-coverage table is a self-audit over a fixed tree: two
+	// renders in one process must be byte-equal, and the clean tree must
+	// show zero current findings and zero applicable edits.
+	l := NewLab()
+	render := func() string {
+		out, err := l.Run("T13", Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := out.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	if first != render() {
+		t.Fatal("T13 is not byte-identical across runs")
+	}
+	for _, b := range t13Baseline {
+		if !strings.Contains(first, b.pkg) || !strings.Contains(first, b.rule) {
+			t.Errorf("T13 table missing baseline row %s/%s:\n%s", b.pkg, b.rule, first)
 		}
 	}
 }

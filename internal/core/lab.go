@@ -212,5 +212,6 @@ func allExperiments() []Experiment {
 		{ID: "F28", Title: "Idle-wave propagation at scale: measured vs analytic wave speed (partitioned PDES)", Run: runF28},
 		{ID: "F29", Title: "Engine hot path: queue discipline and window barrier, wasteful vs remedied", Run: runF29, Measured: true},
 		{ID: "F30", Title: "Optimistic Time-Warp vs conservative windows: committed-event efficiency", Run: runF30, Measured: true},
+		{ID: "T13", Title: "wastevet autofix coverage: per-package findings at-intro vs post-fix", Run: runT13},
 	}
 }

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule writes a small module with one fixable finding per fix-aware
+// rule: a prealloc growth loop with knowable capacity, adjacent atomics, and
+// a stale //lint:ignore directive.
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "grow.go"), `package fixmod
+
+func Grow(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+`)
+	writeFile(t, filepath.Join(dir, "pad.go"), `package fixmod
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+`)
+	writeFile(t, filepath.Join(dir, "stale.go"), `package fixmod
+
+//lint:ignore nosuchrule this suppresses nothing at all
+func Stale() int {
+	return 1
+}
+`)
+	return dir
+}
+
+func analyzeDir(t *testing.T, dir string) *Result {
+	t.Helper()
+	l, err := NewLoaderAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(DefaultConfig(), l.Root(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestApplyFixesEndToEnd runs the whole -fix pipeline on a synthetic module:
+// every fixable finding is applied, the re-analyzed tree has no fixable
+// findings left, and a second apply changes nothing (idempotency).
+func TestApplyFixesEndToEnd(t *testing.T) {
+	dir := fixtureModule(t)
+	res := analyzeDir(t, dir)
+	fixable := res.Fixable()
+	if len(fixable) != 3 {
+		for _, f := range fixable {
+			t.Logf("fixable: %s", f)
+		}
+		t.Fatalf("got %d fixable findings, want 3 (prealloc, atomicpad, stalewaiver)", len(fixable))
+	}
+
+	out, err := ApplyFixes(dir, res.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 3 || out.Skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 3/0", out.Applied, out.Skipped)
+	}
+	if err := WriteFixes(dir, out); err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := os.ReadFile(filepath.Join(dir, "grow.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(grown), "out := make([]int, 0, len(xs))") {
+		t.Errorf("prealloc fix not applied:\n%s", grown)
+	}
+	padded, err := os.ReadFile(filepath.Join(dir, "pad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(padded), "_ [56]byte\n\tmisses") {
+		t.Errorf("atomicpad fix not applied:\n%s", padded)
+	}
+	staled, err := os.ReadFile(filepath.Join(dir, "stale.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(staled), "lint:ignore") {
+		t.Errorf("stale directive not deleted:\n%s", staled)
+	}
+
+	res2 := analyzeDir(t, dir)
+	if left := res2.Fixable(); len(left) != 0 {
+		for _, f := range left {
+			t.Errorf("fixable finding survived -fix: %s", f)
+		}
+	}
+	out2, err := ApplyFixes(dir, res2.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Applied != 0 || len(out2.Changed) != 0 {
+		t.Errorf("second apply changed files: applied=%d changed=%d", out2.Applied, len(out2.Changed))
+	}
+}
+
+// TestApplyFixesDeterministic pins byte-identical output across two
+// independent analyze+apply runs over the same tree.
+func TestApplyFixesDeterministic(t *testing.T) {
+	dir := fixtureModule(t)
+	run := func() map[string][]byte {
+		res := analyzeDir(t, dir)
+		out, err := ApplyFixes(dir, res.Findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Changed
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("changed-file sets differ: %d vs %d", len(a), len(b))
+	}
+	for f, data := range a {
+		if string(b[f]) != string(data) {
+			t.Errorf("%s differs between runs", f)
+		}
+	}
+}
+
+// TestApplyFixesSkipsDriftAndOverlap exercises the applier's safety rails
+// directly with synthetic edits.
+func TestApplyFixesSkipsDriftAndOverlap(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "f.txt"), "abcdef\n")
+	mk := func(start, end int, old, new string) Finding {
+		return Finding{Rule: "test", Fix: &SuggestedFix{Edits: []TextEdit{
+			{File: "f.txt", Start: start, End: end, Old: old, New: new},
+		}}}
+	}
+	out, err := ApplyFixes(dir, []Finding{
+		mk(0, 2, "ab", "AB"), // applies
+		mk(1, 3, "bc", "XX"), // overlaps the first: skipped
+		mk(3, 4, "Q", "Z"),   // drifted (file holds "d"): skipped
+		mk(4, 5, "e", "E"),   // applies
+		mk(4, 5, "e", "E"),   // identical duplicate: collapsed
+		mk(9, 10, "x", "y"),  // out of range: skipped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 2 || out.Skipped != 3 {
+		t.Fatalf("applied=%d skipped=%d, want 2/3", out.Applied, out.Skipped)
+	}
+	if got := string(out.Changed["f.txt"]); got != "ABcdEf\n" {
+		t.Errorf("result %q, want %q", got, "ABcdEf\n")
+	}
+	// Suppressed findings must never be applied.
+	sup := mk(0, 2, "ab", "AB")
+	sup.Suppressed = true
+	out2, err := ApplyFixes(dir, []Finding{sup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Applied != 0 {
+		t.Error("suppressed finding's fix was applied")
+	}
+}
+
+// TestDiffFixes pins the dry-run diff shape: file header with the first
+// changed line, old lines prefixed "-", new lines "+".
+func TestDiffFixes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "f.txt"), "one\ntwo\nthree\n")
+	out, err := ApplyFixes(dir, []Finding{{Rule: "test", Fix: &SuggestedFix{Edits: []TextEdit{
+		{File: "f.txt", Start: 4, End: 7, Old: "two", New: "TWO"},
+	}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := DiffFixes(dir, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "--- f.txt:2\n-two\n+TWO\n"
+	if diff != want {
+		t.Errorf("diff = %q, want %q", diff, want)
+	}
+}

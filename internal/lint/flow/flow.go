@@ -1,0 +1,343 @@
+// Package flow is the analyzer's interprocedural layer: a call graph over
+// the whole module plus one concurrency summary per function — which
+// mutexes it acquires and in what order, which struct fields it touches
+// under which guard, which goroutines it spawns and whether they have an
+// exit path, which channels it closes, and how it moves WaitGroup counts.
+//
+// The intraprocedural rules in internal/lint see one function at a time, so
+// a mutex acquired in Serve and a guarded field touched unlocked in a
+// helper three calls away are invisible to them. The summaries here
+// propagate: a function's transitive acquire set feeds lock-order pairs at
+// every call site, locks held at every caller intersect into guards its
+// accesses inherit, and a spawned goroutine counts as joined when anything
+// it transitively calls has a channel, context, or WaitGroup exit path.
+//
+// The analysis is syntactic dataflow, not a CFG: branches merge
+// optimistically (a lock taken in an if-arm is held for the statements the
+// walker visits inside that arm, not after), deferred unlocks pin the lock
+// for the rest of the function, and a function that unlocks a mutex before
+// ever locking it is inferred to hold that mutex on entry (the *Locked
+// helper convention). Everything is deterministic: maps are only iterated
+// through sorted key slices, so two runs over one tree report byte-identical
+// findings. Five rules sit on top — lockorder, guardedfield, goroleak,
+// doubleclose, wgmisuse — registered into the internal/lint catalog from
+// this package's init; importing it (cmd/wastevet, internal/core do) is
+// what turns the flow layer on.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tenways/internal/lint"
+)
+
+// lockSite is one acquisition of a lock.
+type lockSite struct {
+	key string
+	pkg *lint.Package
+	pos token.Pos
+}
+
+// lockPair records "inner acquired while outer held" at pos.
+type lockPair struct {
+	outer, inner string
+	pkg          *lint.Package
+	pos          token.Pos
+}
+
+// callSite is one resolved call to a module function, with the locks held
+// at the moment of the call (in acquisition order).
+type callSite struct {
+	callee string
+	held   []string
+	pkg    *lint.Package
+	pos    token.Pos
+}
+
+// fieldAccess is one read or write of a type-resolved struct field.
+type fieldAccess struct {
+	field  string // "pkgpath.Type.field"
+	guards []string
+	write  bool
+	pkg    *lint.Package
+	pos    token.Pos
+}
+
+// spawnSite is one go statement.
+type spawnSite struct {
+	callee string // spawned function's key ("" when unresolved)
+	linked bool   // syntactic linkage at the statement itself
+	pkg    *lint.Package
+	pos    token.Pos
+}
+
+// closeSite is one close(ch) on a canonical channel.
+type closeSite struct {
+	ch       string
+	resolved bool // key is type-resolved, comparable across functions
+	inLoop   bool
+	pkg      *lint.Package
+	pos      token.Pos
+}
+
+// wgOp is one WaitGroup Add/Done/Wait.
+type wgOp struct {
+	wg       string
+	resolved bool
+	spawned  bool // op sits inside a go-spawned closure
+	pkg      *lint.Package
+	pos      token.Pos
+}
+
+// funcInfo is one function's (or spawned/stored closure's) summary.
+type funcInfo struct {
+	key  string
+	pkg  *lint.Package
+	pos  token.Pos
+	anon bool // closure summary, key suffixed $go/$fn
+
+	acquires []lockSite
+	pairs    []lockPair
+	calls    []callSite
+	accesses []fieldAccess
+	spawns   []spawnSite
+	closes   []closeSite
+	wgOps    map[string][]wgOp // "Add"/"Done"/"Wait"
+	// exitLinked marks a body containing any completion machinery of its
+	// own: channel ops, select, close, context use, or WaitGroup ops.
+	exitLinked bool
+	// returns lists named types ("pkgpath.Type") the function returns —
+	// constructor results whose fields are unpublished and need no guard.
+	returns map[string]bool
+}
+
+// Analysis is the module-wide result: summaries plus propagated facts.
+type Analysis struct {
+	funcs map[string]*funcInfo
+	keys  []string // sorted for deterministic iteration
+
+	acquired   map[string]map[string]bool // transitive acquire sets
+	alwaysHeld map[string]map[string]bool // locks held at every call site
+	linkMemo   map[string]int8            // goroleak transitive linkage
+}
+
+// analysisCache memoises the last Analyze: every flow rule's CheckModule
+// receives the same package slice within one lint run, and the summary
+// pass need not repeat per rule.
+var (
+	cacheMu   sync.Mutex
+	cachePkgs []*lint.Package
+	cacheRes  *Analysis
+)
+
+// AnalyzeModule builds (or reuses) the interprocedural analysis for pkgs.
+func AnalyzeModule(pkgs []*lint.Package) *Analysis {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if cacheRes != nil && len(cachePkgs) == len(pkgs) && (len(pkgs) == 0 || cachePkgs[0] == pkgs[0]) {
+		same := true
+		for i := range pkgs {
+			if cachePkgs[i] != pkgs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cacheRes
+		}
+	}
+	a := &Analysis{funcs: make(map[string]*funcInfo)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a.summarize(p, fd)
+			}
+		}
+	}
+	a.keys = make([]string, 0, len(a.funcs))
+	for k := range a.funcs {
+		a.keys = append(a.keys, k)
+	}
+	sort.Strings(a.keys)
+	a.propagate()
+	cachePkgs, cacheRes = pkgs, a
+	return a
+}
+
+// declKey names a top-level function: "pkgpath.Func" or "pkgpath.Type.Method".
+func declKey(p *lint.Package, fd *ast.FuncDecl) string {
+	if p.Info != nil {
+		if obj, ok := p.Info.Defs[fd.Name]; ok {
+			if fn, ok := obj.(*types.Func); ok {
+				return typeFuncKey(fn)
+			}
+		}
+	}
+	key := p.ImportPath + "." + fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			key = p.ImportPath + "." + t + "." + fd.Name.Name
+		}
+	}
+	return key
+}
+
+// typeFuncKey names a *types.Func the same way declKey does.
+func typeFuncKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// recvTypeName extracts the receiver type identifier syntactically.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeKey renders a named type as "pkgpath.Name" ("" when unnamed).
+func typeKey(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj() == nil {
+		return ""
+	}
+	pkg := ""
+	if named.Obj().Pkg() != nil {
+		pkg = named.Obj().Pkg().Path()
+	}
+	return pkg + "." + named.Obj().Name()
+}
+
+// syncNamed reports whether t is (a pointer to) sync.<name>.
+func syncNamed(t types.Type, names ...string) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Short renders a canonical key for messages: the full import path shrinks
+// to its last element, so "tenways/internal/pdes.Engine.mu" reads
+// "pdes.Engine.mu".
+func Short(key string) string {
+	slash := strings.LastIndexByte(key, '/')
+	if slash >= 0 {
+		return key[slash+1:]
+	}
+	return key
+}
+
+// summarize walks one declared function into a funcInfo (plus one anonymous
+// funcInfo per closure it contains).
+func (a *Analysis) summarize(p *lint.Package, fd *ast.FuncDecl) {
+	key := declKey(p, fd)
+	if _, dup := a.funcs[key]; dup {
+		// Same key from a degraded type-check (e.g. two init funcs): number
+		// the duplicates so neither summary is lost.
+		for i := 2; ; i++ {
+			k2 := key + "#" + strconv.Itoa(i)
+			if _, dup := a.funcs[k2]; !dup {
+				key = k2
+				break
+			}
+		}
+	}
+	info := a.newFuncInfo(key, p, fd.Pos(), false)
+	if fd.Type.Results != nil && p.Info != nil {
+		for _, res := range fd.Type.Results.List {
+			if t := p.Info.TypeOf(res.Type); t != nil {
+				if k := typeKey(t); k != "" {
+					info.returns[k] = true
+				}
+			}
+		}
+	}
+	w := &walker{a: a, p: p, info: info, writes: collectWrites(fd.Body)}
+	w.held = w.entryHeld(fd.Body)
+	w.stmt(fd.Body)
+}
+
+func (a *Analysis) newFuncInfo(key string, p *lint.Package, pos token.Pos, anon bool) *funcInfo {
+	info := &funcInfo{
+		key: key, pkg: p, pos: pos, anon: anon,
+		wgOps:   make(map[string][]wgOp),
+		returns: make(map[string]bool),
+	}
+	a.funcs[key] = info
+	return info
+}
+
+// collectWrites marks the selector expressions written by assignments,
+// inc/dec, and address-taking anywhere in the body.
+func collectWrites(body ast.Node) map[ast.Expr]bool {
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				writes[lhs] = true
+			}
+		case *ast.IncDecStmt:
+			writes[s.X] = true
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				writes[s.X] = true
+			}
+		}
+		return true
+	})
+	return writes
+}

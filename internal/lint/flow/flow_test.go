@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tenways/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// flowRules are the five rules this package registers; the fixture loop
+// iterates this list rather than lint.Rules() so the intraprocedural rules'
+// fixtures stay where they live.
+var flowRules = []string{"lockorder", "guardedfield", "goroleak", "doubleclose", "wgmisuse"}
+
+// fixtureLoader is shared across tests so stdlib packages type-check once.
+var fixtureLoader *lint.Loader
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var err error
+	fixtureLoader, err = lint.NewLoaderAt(".")
+	if err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+func loadFixture(t *testing.T, rule string) []*lint.Package {
+	t.Helper()
+	pkgs, err := fixtureLoader.Load(filepath.Join("testdata", "src", rule))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rule, err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 3 {
+		t.Fatalf("fixture %s: want 1 package with bad/clean/suppressed, got %+v", rule, pkgs)
+	}
+	return pkgs
+}
+
+// TestRegistered pins the catalog wiring: importing this package must make
+// all five flow rules visible to lint.
+func TestRegistered(t *testing.T) {
+	have := make(map[string]bool)
+	for _, n := range lint.RuleNames() {
+		have[n] = true
+	}
+	for _, n := range flowRules {
+		if !have[n] {
+			t.Errorf("rule %s not registered in the lint catalog", n)
+		}
+	}
+}
+
+// TestFlowRuleFixtures runs each flow rule alone over its fixture package
+// and pins the findings against a golden file: bad.go must trigger, clean.go
+// must not, suppressed.go findings must carry acknowledged waivers.
+func TestFlowRuleFixtures(t *testing.T) {
+	for _, name := range flowRules {
+		t.Run(name, func(t *testing.T) {
+			pkgs := loadFixture(t, name)
+			cfg := lint.DefaultConfig()
+			cfg.Rules = []string{name}
+			res, err := lint.Analyze(cfg, fixtureLoader.Root(), pkgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var badHits, cleanHits, supUnacked int
+			for _, f := range res.Findings {
+				if f.Rule != name {
+					t.Errorf("finding from foreign rule %q under -rules %s: %s", f.Rule, name, f)
+				}
+				switch filepath.Base(f.File) {
+				case "bad.go":
+					badHits++
+					if f.Suppressed {
+						t.Errorf("bad.go finding unexpectedly suppressed: %s", f)
+					}
+				case "clean.go":
+					cleanHits++
+				case "suppressed.go":
+					if !f.Suppressed {
+						supUnacked++
+					} else if f.Reason == "" {
+						t.Errorf("suppressed finding has empty reason: %s", f)
+					}
+				}
+			}
+			if badHits == 0 {
+				t.Error("bad.go triggered no findings")
+			}
+			if cleanHits != 0 {
+				t.Errorf("clean.go triggered %d findings", cleanHits)
+			}
+			if supUnacked != 0 {
+				t.Errorf("suppressed.go has %d unacknowledged findings", supUnacked)
+			}
+
+			var b strings.Builder
+			for _, f := range res.Findings {
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+			goldenPath := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got := b.String(); got != string(want) {
+				t.Errorf("findings differ from golden %s:\ngot:\n%swant:\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestFlowByteStable runs all five flow rules over all fixture packages
+// through two independent loaders and requires byte-identical findings —
+// the same determinism bar every experiment table in the repo carries.
+func TestFlowByteStable(t *testing.T) {
+	render := func(t *testing.T) []byte {
+		t.Helper()
+		l, err := lint.NewLoaderAt(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs := make([]string, 0, len(flowRules))
+		for _, n := range flowRules {
+			dirs = append(dirs, filepath.Join("testdata", "src", n))
+		}
+		pkgs, err := l.Load(dirs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := lint.DefaultConfig()
+		cfg.Rules = flowRules
+		res, err := lint.Analyze(cfg, l.Root(), pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, f := range res.Findings {
+			buf.WriteString(f.String())
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	a, b := render(t), render(t)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two independent runs rendered different bytes:\n--- a\n%s--- b\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("flow rules over all fixtures rendered nothing")
+	}
+}

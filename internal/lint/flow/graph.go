@@ -1,0 +1,234 @@
+package flow
+
+// Interprocedural propagation over the call graph. Three facts flow:
+//
+//   - acquired: the set of locks a function may take, transitively through
+//     its callees (monotone union to a fixed point). Feeds lockorder: a
+//     call made while holding L to a function whose transitive set holds M
+//     is an (L, M) ordering edge at the call site.
+//   - alwaysHeld: the locks held at EVERY call site of a function,
+//     including what the callers themselves always hold (decreasing
+//     intersection from top). Feeds guardedfield: an access with no local
+//     guard is still guarded when every path into the function holds the
+//     mutex.
+//   - linked: whether a spawned goroutine reaches any completion machinery
+//     (channel op, select, close, context, WaitGroup) in its body or in
+//     anything it calls, to a bounded depth. Feeds goroleak.
+
+import "sort"
+
+// linkDepth bounds the transitive search for a spawned goroutine's exit
+// path; real exit machinery sits within a few calls of the spawn.
+const linkDepth = 4
+
+// fixpointRounds bounds both dataflow iterations; sets are small and real
+// call chains shallow, so the lattices settle long before this.
+const fixpointRounds = 12
+
+func (a *Analysis) propagate() {
+	a.acquired = make(map[string]map[string]bool, len(a.funcs))
+	for _, k := range a.keys {
+		set := make(map[string]bool)
+		for _, acq := range a.funcs[k].acquires {
+			set[acq.key] = true
+		}
+		a.acquired[k] = set
+	}
+	for round := 0; round < fixpointRounds; round++ {
+		changed := false
+		for _, k := range a.keys {
+			set := a.acquired[k]
+			for _, c := range a.funcs[k].calls {
+				for lock := range a.acquired[c.callee] {
+					if !set[lock] {
+						set[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// alwaysHeld: nil means top (no call site seen yet). Functions without
+	// module callers are entry points and resolve to the empty set.
+	callers := make(map[string][]callSite)
+	for _, k := range a.keys {
+		for _, c := range a.funcs[k].calls {
+			if _, known := a.funcs[c.callee]; known {
+				callers[c.callee] = append(callers[c.callee], callSite{
+					callee: k, held: c.held, // callee field reused as the CALLER key
+				})
+			}
+		}
+	}
+	a.alwaysHeld = make(map[string]map[string]bool, len(a.funcs))
+	for _, k := range a.keys {
+		if len(callers[k]) == 0 {
+			a.alwaysHeld[k] = map[string]bool{}
+		}
+	}
+	for round := 0; round < fixpointRounds; round++ {
+		changed := false
+		for _, k := range a.keys {
+			sites := callers[k]
+			if len(sites) == 0 {
+				continue
+			}
+			var meet map[string]bool // nil = top
+			for _, site := range sites {
+				callerHeld := a.alwaysHeld[site.callee]
+				if callerHeld == nil {
+					continue // caller still top: contributes everything
+				}
+				contrib := make(map[string]bool, len(site.held)+len(callerHeld))
+				for _, l := range site.held {
+					contrib[l] = true
+				}
+				for l := range callerHeld {
+					contrib[l] = true
+				}
+				if meet == nil {
+					meet = contrib
+					continue
+				}
+				for l := range meet {
+					if !contrib[l] {
+						delete(meet, l)
+					}
+				}
+			}
+			if meet == nil {
+				continue // every caller still top
+			}
+			old := a.alwaysHeld[k]
+			if old == nil || len(old) != len(meet) {
+				a.alwaysHeld[k] = meet
+				changed = true
+				continue
+			}
+			for l := range meet {
+				if !old[l] {
+					a.alwaysHeld[k] = meet
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Anything still top sits on an unreachable cycle: no guard knowledge.
+	for _, k := range a.keys {
+		if a.alwaysHeld[k] == nil {
+			a.alwaysHeld[k] = map[string]bool{}
+		}
+	}
+	a.linkMemo = make(map[string]int8, len(a.funcs))
+}
+
+// effectiveGuards returns an access's guards plus everything its function
+// always holds on entry, sorted.
+func (a *Analysis) effectiveGuards(fnKey string, acc fieldAccess) []string {
+	set := make(map[string]bool, len(acc.guards)+2)
+	for _, g := range acc.guards {
+		set[g] = true
+	}
+	for g := range a.alwaysHeld[fnKey] {
+		set[g] = true
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// effectivePairs returns every lock-ordering edge in the module: pairs
+// observed directly inside one function plus, for each call made under
+// held locks, pairs against everything the callee transitively acquires.
+func (a *Analysis) effectivePairs() []lockPair {
+	pairs := make([]lockPair, 0, len(a.keys))
+	for _, k := range a.keys {
+		info := a.funcs[k]
+		pairs = append(pairs, info.pairs...)
+		for _, c := range info.calls {
+			acq := a.acquired[c.callee]
+			if len(acq) == 0 || len(c.held) == 0 {
+				continue
+			}
+			inner := make([]string, 0, len(acq))
+			for l := range acq {
+				inner = append(inner, l)
+			}
+			sort.Strings(inner)
+			for _, outer := range c.held {
+				for _, in := range inner {
+					if in != outer {
+						pairs = append(pairs, lockPair{outer: outer, inner: in, pkg: c.pkg, pos: c.pos})
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// linked reports whether the function with this key reaches completion
+// machinery within linkDepth calls. Unknown callees (stdlib, method
+// values) count as linked — the analyzer only flags what it can see.
+func (a *Analysis) linked(key string) bool {
+	return a.linkedAt(key, linkDepth)
+}
+
+func (a *Analysis) linkedAt(key string, depth int) bool {
+	if key == "" {
+		return true // unresolvable spawn target: assume accountable
+	}
+	info, ok := a.funcs[key]
+	if !ok {
+		return true // outside the module: not ours to judge
+	}
+	if v, memo := a.linkMemo[key]; memo {
+		return v > 0
+	}
+	if info.exitLinked {
+		a.linkMemo[key] = 1
+		return true
+	}
+	if depth == 0 {
+		return false // don't memoise a depth cutoff
+	}
+	a.linkMemo[key] = -1 // cycle guard: visiting counts as unlinked
+	res := false
+	for _, c := range info.calls {
+		if _, inModule := a.funcs[c.callee]; !inModule {
+			continue // unknown callees don't make a goroutine accountable
+		}
+		if a.linkedAt(c.callee, depth-1) {
+			res = true
+			break
+		}
+	}
+	if !res {
+		for _, s := range info.spawns {
+			if _, inModule := a.funcs[s.callee]; s.callee != "" && !inModule {
+				continue
+			}
+			if s.callee != "" && a.linkedAt(s.callee, depth-1) {
+				res = true
+				break
+			}
+		}
+	}
+	if res {
+		a.linkMemo[key] = 1
+	} else {
+		delete(a.linkMemo, key) // cutoff-tainted negative: recompute next time
+	}
+	return res
+}

@@ -1,0 +1,353 @@
+package flow
+
+// The five flow rules. Each implements lint.ModuleRule on top of the
+// propagated Analysis; they are registered into the lint catalog from init,
+// so importing this package is what enables them.
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tenways/internal/lint"
+)
+
+func init() {
+	lint.Register(
+		lockorderRule{}, guardedfieldRule{}, goroleakRule{},
+		doublecloseRule{}, wgmisuseRule{},
+	)
+}
+
+// site pairs a finding location with its package for deterministic sorting.
+type site struct {
+	pkg *lint.Package
+	pos token.Pos
+}
+
+func (s site) position() token.Position { return s.pkg.Fset.Position(s.pos) }
+
+// before orders two sites by (file, line, column).
+func (s site) before(o site) bool {
+	a, b := s.position(), o.position()
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// at renders a site as "file.go:line" for cross-references inside messages;
+// only the base name appears so reports stay byte-identical across checkouts.
+func (s site) at() string {
+	p := s.position()
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// display renders a canonical key for messages: local keys reduce to the
+// variable name, package paths to their last element.
+func display(key string) string {
+	if strings.HasPrefix(key, "local:") {
+		if i := strings.LastIndexByte(key, ':'); i >= 0 {
+			return key[i+1:]
+		}
+	}
+	return Short(key)
+}
+
+// groupable reports whether a key identifies the same object across
+// functions: field, package-var, and declaration-site local keys do;
+// textual fallback keys (they embed a "$"-suffixed function key) do not.
+func groupable(key string) bool {
+	return key != "" && !strings.Contains(key, "$")
+}
+
+// ---- lockorder ----
+
+type lockorderRule struct{}
+
+func (lockorderRule) Name() string  { return "lockorder" }
+func (lockorderRule) Waste() string { return "W5" }
+func (lockorderRule) Doc() string {
+	return "every pair of locks must be acquired in one global order across the module"
+}
+func (lockorderRule) Check(p *lint.Package, r *lint.Reporter) {}
+
+func (lockorderRule) CheckModule(pkgs []*lint.Package, r *lint.ModuleReporter) {
+	a := AnalyzeModule(pkgs)
+	// First site of each ordered (outer, inner) edge, keyed "outer\x00inner".
+	first := make(map[string]site)
+	for _, p := range a.effectivePairs() {
+		if !groupable(p.outer) || !groupable(p.inner) {
+			continue
+		}
+		k := p.outer + "\x00" + p.inner
+		s := site{pkg: p.pkg, pos: p.pos}
+		if prev, seen := first[k]; !seen || s.before(prev) {
+			first[k] = s
+		}
+	}
+	keys := make([]string, 0, len(first))
+	for k := range first {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 2)
+		outer, inner := parts[0], parts[1]
+		rev := inner + "\x00" + outer
+		revSite, conflict := first[rev]
+		if !conflict || k > rev {
+			continue // report each conflicting pair once, from the lesser key
+		}
+		s := first[k]
+		r.Report(s.pkg, s.pos,
+			"lock %s is acquired while holding %s, but %s acquires them in the reverse order; pick one global lock order",
+			display(inner), display(outer), revSite.at())
+		r.Report(revSite.pkg, revSite.pos,
+			"lock %s is acquired while holding %s, but %s acquires them in the reverse order; pick one global lock order",
+			display(outer), display(inner), s.at())
+	}
+}
+
+// ---- guardedfield ----
+
+type guardedfieldRule struct{}
+
+func (guardedfieldRule) Name() string  { return "guardedfield" }
+func (guardedfieldRule) Waste() string { return "W5" }
+func (guardedfieldRule) Doc() string {
+	return "a field mostly accessed under one mutex must not also be touched without it"
+}
+func (guardedfieldRule) Check(p *lint.Package, r *lint.Reporter) {}
+
+// guardedMin sets the dominance bar: a guard counts as the field's
+// discipline only with at least guardedMin guarded accesses covering at
+// least half of all accesses, one of them a write.
+const guardedMin = 2
+
+func (guardedfieldRule) CheckModule(pkgs []*lint.Package, r *lint.ModuleReporter) {
+	a := AnalyzeModule(pkgs)
+	type rec struct {
+		acc   fieldAccess
+		guard string // dominant sibling guard held at this access ("" = none)
+	}
+	byField := make(map[string][]rec)
+	for _, fnKey := range a.keys {
+		info := a.funcs[fnKey]
+		for _, acc := range info.accesses {
+			owner := acc.field[:strings.LastIndexByte(acc.field, '.')]
+			if info.returns[owner] {
+				continue // constructor: fields are unpublished until returned
+			}
+			sibling := ""
+			for _, g := range a.effectiveGuards(fnKey, acc) {
+				if strings.HasPrefix(g, owner+".") {
+					sibling = g
+					break
+				}
+			}
+			byField[acc.field] = append(byField[acc.field], rec{acc: acc, guard: sibling})
+		}
+	}
+	fields := make([]string, 0, len(byField))
+	for f := range byField {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		recs := byField[f]
+		perGuard := make(map[string]int)
+		guarded, guardedWrites := 0, 0
+		for _, rc := range recs {
+			if rc.guard != "" {
+				perGuard[rc.guard]++
+				guarded++
+				if rc.acc.write {
+					guardedWrites++
+				}
+			}
+		}
+		if guarded < guardedMin || guarded*2 < len(recs) || guardedWrites == 0 || guarded == len(recs) {
+			continue
+		}
+		dominant, best := "", 0
+		for g, n := range perGuard {
+			if n > best || (n == best && g < dominant) {
+				dominant, best = g, n
+			}
+		}
+		bare := make([]rec, 0, len(recs)-guarded)
+		for _, rc := range recs {
+			if rc.guard == "" {
+				bare = append(bare, rc)
+			}
+		}
+		sort.Slice(bare, func(i, j int) bool {
+			return site{bare[i].acc.pkg, bare[i].acc.pos}.before(site{bare[j].acc.pkg, bare[j].acc.pos})
+		})
+		for _, rc := range bare {
+			r.Report(rc.acc.pkg, rc.acc.pos,
+				"field %s is guarded by %s at %d of %d accesses but not here; hold the lock or waive with the safe-publication argument",
+				display(f), display(dominant), guarded, len(recs))
+		}
+	}
+}
+
+// ---- goroleak ----
+
+type goroleakRule struct{}
+
+func (goroleakRule) Name() string  { return "goroleak" }
+func (goroleakRule) Waste() string { return "W3" }
+func (goroleakRule) Doc() string {
+	return "a spawned goroutine needs a join, context, or channel exit path within reach"
+}
+func (goroleakRule) Check(p *lint.Package, r *lint.Reporter) {}
+
+func (goroleakRule) CheckModule(pkgs []*lint.Package, r *lint.ModuleReporter) {
+	a := AnalyzeModule(pkgs)
+	for _, fnKey := range a.keys {
+		info := a.funcs[fnKey]
+		for _, sp := range info.spawns {
+			if sp.linked || a.linked(sp.callee) {
+				continue
+			}
+			what := "this goroutine"
+			if !strings.Contains(sp.callee, "$") {
+				what = display(sp.callee)
+			}
+			r.Report(sp.pkg, sp.pos,
+				"%s has no join, context, or channel exit path here or in anything it calls; hand it a WaitGroup, ctx, or channel so it can stop",
+				what)
+		}
+	}
+}
+
+// ---- doubleclose ----
+
+type doublecloseRule struct{}
+
+func (doublecloseRule) Name() string  { return "doubleclose" }
+func (doublecloseRule) Waste() string { return "W3" }
+func (doublecloseRule) Doc() string {
+	return "a channel must be closed exactly once, by one owner, never in a loop"
+}
+func (doublecloseRule) Check(p *lint.Package, r *lint.Reporter) {}
+
+func (doublecloseRule) CheckModule(pkgs []*lint.Package, r *lint.ModuleReporter) {
+	a := AnalyzeModule(pkgs)
+	byChan := make(map[string][]closeSite)
+	for _, fnKey := range a.keys {
+		for _, cs := range a.funcs[fnKey].closes {
+			if cs.inLoop {
+				r.Report(cs.pkg, cs.pos,
+					"close(%s) inside a loop panics on the second iteration; close once after the loop",
+					display(cs.ch))
+			}
+			if cs.resolved && groupable(cs.ch) {
+				byChan[cs.ch] = append(byChan[cs.ch], cs)
+			}
+		}
+	}
+	chans := make([]string, 0, len(byChan))
+	for c := range byChan {
+		chans = append(chans, c)
+	}
+	sort.Strings(chans)
+	for _, c := range chans {
+		sites := byChan[c]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			return site{sites[i].pkg, sites[i].pos}.before(site{sites[j].pkg, sites[j].pos})
+		})
+		owner := site{sites[0].pkg, sites[0].pos}
+		for _, cs := range sites[1:] {
+			r.Report(cs.pkg, cs.pos,
+				"channel %s is already closed at %s; a second close panics — give the channel one closing owner",
+				display(c), owner.at())
+		}
+	}
+}
+
+// ---- wgmisuse ----
+
+type wgmisuseRule struct{}
+
+func (wgmisuseRule) Name() string  { return "wgmisuse" }
+func (wgmisuseRule) Waste() string { return "W3" }
+func (wgmisuseRule) Doc() string {
+	return "WaitGroup Add/Done/Wait must balance, with Add on the spawning side"
+}
+func (wgmisuseRule) Check(p *lint.Package, r *lint.Reporter) {}
+
+func (wgmisuseRule) CheckModule(pkgs []*lint.Package, r *lint.ModuleReporter) {
+	a := AnalyzeModule(pkgs)
+	type tally struct{ adds, dones, waits []wgOp }
+	byWG := make(map[string]*tally)
+	for _, fnKey := range a.keys {
+		info := a.funcs[fnKey]
+		for _, op := range info.wgOps["Add"] {
+			if op.spawned {
+				r.Report(op.pkg, op.pos,
+					"%s.Add inside the spawned goroutine races with Wait; call Add before the go statement",
+					display(op.wg))
+			}
+		}
+		for _, name := range []string{"Add", "Done", "Wait"} {
+			for _, op := range info.wgOps[name] {
+				if !op.resolved || !groupable(op.wg) {
+					continue
+				}
+				t := byWG[op.wg]
+				if t == nil {
+					t = &tally{}
+					byWG[op.wg] = t
+				}
+				switch name {
+				case "Add":
+					t.adds = append(t.adds, op)
+				case "Done":
+					t.dones = append(t.dones, op)
+				case "Wait":
+					t.waits = append(t.waits, op)
+				}
+			}
+		}
+	}
+	wgs := make([]string, 0, len(byWG))
+	for w := range byWG {
+		wgs = append(wgs, w)
+	}
+	sort.Strings(wgs)
+	firstOf := func(ops []wgOp) site {
+		best := site{ops[0].pkg, ops[0].pos}
+		for _, op := range ops[1:] {
+			if s := (site{op.pkg, op.pos}); s.before(best) {
+				best = s
+			}
+		}
+		return best
+	}
+	for _, w := range wgs {
+		t := byWG[w]
+		if len(t.dones) > 0 && len(t.adds) == 0 {
+			s := firstOf(t.dones)
+			r.Report(s.pkg, s.pos,
+				"%s.Done is called but nothing ever calls Add; the counter goes negative and panics",
+				display(w))
+		}
+		if len(t.adds) > 0 && len(t.waits) > 0 && len(t.dones) == 0 {
+			s := firstOf(t.waits)
+			r.Report(s.pkg, s.pos,
+				"%s.Wait blocks forever: Add is called but no path ever calls Done",
+				display(w))
+		}
+	}
+}

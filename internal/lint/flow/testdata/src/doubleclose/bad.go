@@ -1,0 +1,22 @@
+package doubleclose
+
+// Feed's output channel has two closing owners: whichever of Shut and Abort
+// runs second panics.
+type Feed struct {
+	out chan int
+}
+
+func (f *Feed) Shut() {
+	close(f.out)
+}
+
+func (f *Feed) Abort() {
+	close(f.out)
+}
+
+// Fan closes the done channel inside the loop: the second iteration panics.
+func Fan(chans []chan int, done chan struct{}) {
+	for range chans {
+		close(done)
+	}
+}

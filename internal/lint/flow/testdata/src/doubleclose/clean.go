@@ -1,0 +1,24 @@
+package doubleclose
+
+// Pipe has exactly one closing owner.
+type Pipe struct {
+	ch chan int
+}
+
+func (p *Pipe) Close() {
+	close(p.ch)
+}
+
+// Drain closes once, after the loop.
+func Drain(n int) []int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	out := make([]int, 0, n)
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package doubleclose
+
+// Relay keeps a second close on purpose and says why.
+type Relay struct {
+	done chan struct{}
+}
+
+func (r *Relay) Stop() {
+	close(r.done)
+}
+
+func (r *Relay) Kill() {
+	//lint:ignore doubleclose fixture: second close path acknowledged
+	close(r.done)
+}

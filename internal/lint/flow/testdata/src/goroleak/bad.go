@@ -1,0 +1,24 @@
+package goroleak
+
+// spin burns a core with no exit machinery anywhere in reach.
+func spin() {
+	for {
+		step()
+	}
+}
+
+func step() {}
+
+// Start leaks a named goroutine: no join, no context, no channel.
+func Start() {
+	go spin()
+}
+
+// StartInline leaks an anonymous goroutine the same way.
+func StartInline() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

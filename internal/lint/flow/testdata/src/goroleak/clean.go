@@ -1,0 +1,33 @@
+package goroleak
+
+// pump owns the channel's send side and closes it when done.
+func pump(ch chan int) {
+	for i := 0; i < 8; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// Run joins through the channel handed to the goroutine.
+func Run() int {
+	ch := make(chan int)
+	go pump(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// RunNested joins through a done channel closed inside the closure; the
+// linkage is found in the spawned body, not at the statement.
+func RunNested() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		helper()
+	}()
+	<-done
+}
+
+func helper() {}

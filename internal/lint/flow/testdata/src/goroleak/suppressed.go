@@ -1,0 +1,16 @@
+package goroleak
+
+// daemon deliberately runs for the whole process lifetime.
+func daemon() {
+	for {
+		tick()
+	}
+}
+
+func tick() {}
+
+// StartDaemon acknowledges the process-lifetime goroutine.
+func StartDaemon() {
+	//lint:ignore goroleak fixture: process-lifetime daemon by design
+	go daemon()
+}

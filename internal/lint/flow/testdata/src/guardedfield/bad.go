@@ -1,0 +1,38 @@
+package guardedfield
+
+import "sync"
+
+// Counter guards n with mu everywhere except Peek.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Set(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = v
+}
+
+// Add holds mu and delegates; bump inherits the guard interprocedurally and
+// must not be flagged.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(d)
+}
+
+func (c *Counter) bump(d int) {
+	c.n += d
+}
+
+// Peek reads n with no lock: the one access outside the discipline.
+func (c *Counter) Peek() int {
+	return c.n
+}

@@ -1,0 +1,29 @@
+package guardedfield
+
+import "sync"
+
+// Gauge is fully disciplined: every post-construction access holds mu.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+// NewGauge touches v unguarded, but constructor results are unpublished and
+// exempt.
+func NewGauge() *Gauge {
+	g := &Gauge{}
+	g.v = -1
+	return g
+}
+
+func (g *Gauge) Set(x int) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}

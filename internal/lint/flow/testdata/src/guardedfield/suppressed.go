@@ -1,0 +1,26 @@
+package guardedfield
+
+import "sync"
+
+// Meter tolerates one racy monitoring read and says so.
+type Meter struct {
+	mu    sync.Mutex
+	total int
+}
+
+func (m *Meter) Observe(d int) {
+	m.mu.Lock()
+	m.total += d
+	m.mu.Unlock()
+}
+
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total = 0
+}
+
+func (m *Meter) Snapshot() int {
+	//lint:ignore guardedfield fixture: racy read tolerated for monitoring
+	return m.total
+}

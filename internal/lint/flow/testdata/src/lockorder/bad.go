@@ -1,0 +1,33 @@
+package lockorder
+
+import "sync"
+
+// Store guards data with mu and a secondary index with idx.
+type Store struct {
+	mu   sync.Mutex
+	idx  sync.Mutex
+	data map[string]int
+}
+
+// Put acquires mu then idx.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Lock()
+	s.data[k] = v
+	s.idx.Unlock()
+}
+
+// Len acquires idx and then, through a helper, mu — the reverse order, a
+// deadlock the single-function rules cannot see.
+func (s *Store) Len() int {
+	s.idx.Lock()
+	defer s.idx.Unlock()
+	return s.count()
+}
+
+func (s *Store) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,35 @@
+package lockorder
+
+import "sync"
+
+// Journal always acquires wmu before fmu, including through helpers.
+type Journal struct {
+	wmu     sync.Mutex
+	fmu     sync.Mutex
+	lines   []string
+	flushed int
+}
+
+// Append acquires wmu then fmu directly.
+func (j *Journal) Append(line string) {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	j.lines = append(j.lines, line)
+	j.fmu.Lock()
+	j.flushed = 0
+	j.fmu.Unlock()
+}
+
+// Rotate acquires wmu then reaches fmu through a helper — same order.
+func (j *Journal) Rotate() {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	j.flush()
+}
+
+func (j *Journal) flush() {
+	j.fmu.Lock()
+	defer j.fmu.Unlock()
+	j.flushed = len(j.lines)
+	j.lines = j.lines[:0]
+}

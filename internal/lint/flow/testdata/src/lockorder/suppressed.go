@@ -1,0 +1,28 @@
+package lockorder
+
+import "sync"
+
+// Cache reverses its lock order deliberately; both directions carry waivers.
+type Cache struct {
+	amu  sync.Mutex
+	bmu  sync.Mutex
+	hits int
+}
+
+func (c *Cache) Fill() {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	//lint:ignore lockorder fixture: reversed pair acknowledged
+	c.bmu.Lock()
+	c.hits++
+	c.bmu.Unlock()
+}
+
+func (c *Cache) Drain() {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	//lint:ignore lockorder fixture: reversed pair acknowledged
+	c.amu.Lock()
+	c.hits--
+	c.amu.Unlock()
+}

@@ -1,0 +1,31 @@
+package wgmisuse
+
+import "sync"
+
+// Gather calls Add inside the spawned goroutine: Wait can return before any
+// Add lands.
+func Gather(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		job := job
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+// Await blocks forever: the counter is raised and waited on, but no path
+// ever calls Done.
+func Await(n int) {
+	var pending sync.WaitGroup
+	pending.Add(n)
+	for i := 0; i < n; i++ {
+		go work(i, &pending)
+	}
+	pending.Wait()
+}
+
+func work(int, *sync.WaitGroup) {}

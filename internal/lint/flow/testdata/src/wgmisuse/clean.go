@@ -1,0 +1,19 @@
+package wgmisuse
+
+import "sync"
+
+// Fan is the canonical shape: Add before go, Done in the worker, one Wait.
+// The worker closure captures wg, so the ops balance across function
+// boundaries.
+func Fan(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		job := job
+		go func() {
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}

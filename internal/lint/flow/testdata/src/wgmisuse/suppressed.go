@@ -1,0 +1,14 @@
+package wgmisuse
+
+import "sync"
+
+// Pool's Add side lives in generated glue outside this module; the Done-only
+// shape is acknowledged.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool) Detach() {
+	//lint:ignore wgmisuse fixture: Add happens in generated glue outside this module
+	p.wg.Done()
+}

@@ -1,0 +1,641 @@
+package flow
+
+// The summary walker: one pass over a function body tracking the ordered
+// set of locks held at each statement. It is syntactic dataflow — branches
+// save and restore the held set, loops bump a depth counter, deferred
+// unlocks pin their lock for the rest of the function, and a body that
+// unlocks a mutex it never locked is inferred to hold it on entry (the
+// *Locked helper convention).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"tenways/internal/lint"
+)
+
+type walker struct {
+	a    *Analysis
+	p    *lint.Package
+	info *funcInfo
+
+	held      []string // ordered: held[i] acquired before held[i+1]
+	loopDepth int
+	loopStack []ast.Node // enclosing loop statements, innermost last
+	spawned   bool       // body runs on a go-spawned goroutine
+	litCount  int
+	writes    map[ast.Expr]bool
+}
+
+// entryHeld infers locks held when the function is entered: any lock whose
+// first operation in source order is an unlock must have been acquired by
+// the caller.
+func (w *walker) entryHeld(body *ast.BlockStmt) []string {
+	first := make(map[string]string) // lock key -> "lock" | "unlock"
+	order := []string(nil)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, key, ok := w.lockOp(call); ok {
+			if _, seen := first[key]; !seen {
+				first[key] = op
+				order = append(order, key)
+			}
+		}
+		return true
+	})
+	held := make([]string, 0, len(order))
+	for _, key := range order {
+		if first[key] == "unlock" {
+			held = append(held, key)
+		}
+	}
+	return held
+}
+
+// lockOp classifies a call as a mutex operation, returning "lock" or
+// "unlock" plus the canonical key of the mutex expression.
+func (w *walker) lockOp(call *ast.CallExpr) (op, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	if w.p.Info != nil {
+		// Require the receiver (or the embedded method's actual receiver)
+		// to be a sync mutex when types resolved; stay name-based otherwise.
+		if t := w.p.Info.TypeOf(sel.X); t != nil {
+			if !syncNamed(t, "Mutex", "RWMutex") {
+				if !w.selectsSyncMethod(sel, "Mutex", "RWMutex") {
+					return "", "", false
+				}
+				// s.Lock() through an embedded sync.Mutex: canonicalise to the
+				// owning type's embedded field ("pkg.T.Mutex") so it groups
+				// with field guards and across instances.
+				if owner := typeKey(t); owner != "" {
+					name := "Mutex"
+					if w.selectsSyncMethod(sel, "RWMutex") {
+						name = "RWMutex"
+					}
+					return op, owner + "." + name, true
+				}
+			}
+		}
+	}
+	k, _ := w.exprKey(sel.X)
+	return op, k, true
+}
+
+// selectsSyncMethod reports whether sel resolves (possibly through an
+// embedded field) to a method of one of the named sync types.
+func (w *walker) selectsSyncMethod(sel *ast.SelectorExpr, names ...string) bool {
+	s, ok := w.p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return syncNamed(sig.Recv().Type(), names...)
+}
+
+// wgOp classifies a call as a WaitGroup operation. Type information is
+// required — Add/Done/Wait are too generic to match by name alone.
+func (w *walker) wgOpOf(call *ast.CallExpr) (op, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || w.p.Info == nil {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+	default:
+		return "", "", false
+	}
+	t := w.p.Info.TypeOf(sel.X)
+	if t == nil || !syncNamed(t, "WaitGroup") {
+		if !w.selectsSyncMethod(sel, "WaitGroup") {
+			return "", "", false
+		}
+	}
+	k, _ := w.exprKey(sel.X)
+	return sel.Sel.Name, k, true
+}
+
+// keyKind classifies how reliable a canonical key's identity is.
+type keyKind int
+
+const (
+	// kindTextual keys are rendered source text scoped to one function;
+	// they keep intraprocedural tracking working but never group across
+	// functions.
+	kindTextual keyKind = iota
+	// kindLocal keys identify a local variable by its declaration
+	// position, so a closure capturing its parent's variable shares the
+	// key with the parent.
+	kindLocal
+	// kindPkgVar keys name a package-level variable.
+	kindPkgVar
+	// kindField keys name a field of a named type ("pkgpath.Type.field"),
+	// object-insensitively: every instance of the type shares the key.
+	kindField
+)
+
+// stable reports whether a key may be grouped across functions.
+func (k keyKind) stable() bool { return k >= kindLocal }
+
+// exprKey canonicalises a lock/channel/WaitGroup expression's identity.
+func (w *walker) exprKey(e ast.Expr) (string, keyKind) {
+	switch ex := e.(type) {
+	case *ast.ParenExpr:
+		return w.exprKey(ex.X)
+	case *ast.StarExpr:
+		return w.exprKey(ex.X)
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			return w.exprKey(ex.X)
+		}
+	case *ast.SelectorExpr:
+		if w.p.Info != nil {
+			if t := w.p.Info.TypeOf(ex.X); t != nil {
+				if k := typeKey(t); k != "" {
+					return k + "." + ex.Sel.Name, kindField
+				}
+			}
+		}
+		base, _ := w.exprKey(ex.X)
+		return base + "." + ex.Sel.Name, kindTextual
+	case *ast.IndexExpr:
+		base, _ := w.exprKey(ex.X)
+		return base + "[]", kindTextual
+	case *ast.Ident:
+		if w.p.Info != nil {
+			if obj, ok := w.p.Info.Uses[ex]; ok {
+				if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil {
+					if v.Parent() == v.Pkg().Scope() {
+						return v.Pkg().Path() + "." + v.Name(), kindPkgVar
+					}
+					// Keyed by declaration site so captures share identity.
+					pos := w.p.Fset.Position(v.Pos())
+					return "local:" + pos.Filename + ":" + strconv.Itoa(pos.Line) +
+						":" + strconv.Itoa(pos.Column) + ":" + v.Name(), kindLocal
+				}
+			}
+		}
+		return w.info.key + "$" + ex.Name, kindTextual
+	}
+	return w.info.key + "$" + types.ExprString(e), kindTextual
+}
+
+// ---- statement walk ----
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			w.stmt(inner)
+		}
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e)
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.expr(st.Cond)
+		w.branch(st.Body)
+		if st.Else != nil {
+			saved := w.snapshot()
+			w.stmt(st.Else)
+			w.restore(saved)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.loopDepth++
+		w.loopStack = append(w.loopStack, st)
+		w.branch(st.Body)
+		w.loopStack = w.loopStack[:len(w.loopStack)-1]
+		w.loopDepth--
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		if w.p.Info != nil {
+			if t := w.p.Info.TypeOf(st.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.info.exitLinked = true // ranging a channel is a join
+				}
+			}
+		}
+		w.loopDepth++
+		w.loopStack = append(w.loopStack, st)
+		w.branch(st.Body)
+		w.loopStack = w.loopStack[:len(w.loopStack)-1]
+		w.loopDepth--
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag)
+		}
+		w.clauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.stmt(st.Assign)
+		w.clauses(st.Body)
+	case *ast.SelectStmt:
+		w.info.exitLinked = true
+		w.clauses(st.Body)
+	case *ast.SendStmt:
+		w.info.exitLinked = true
+		w.expr(st.Chan)
+		w.expr(st.Value)
+	case *ast.GoStmt:
+		w.spawn(st)
+	case *ast.DeferStmt:
+		w.deferred(st.Call)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// branch walks a nested block with the held set saved and restored: a lock
+// taken inside an if-arm or loop body does not stay held after it.
+func (w *walker) branch(body *ast.BlockStmt) {
+	saved := w.snapshot()
+	w.stmt(body)
+	w.restore(saved)
+}
+
+// clauses walks each case clause of a switch/select body as a branch.
+func (w *walker) clauses(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		saved := w.snapshot()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(e)
+			}
+			for _, s := range cc.Body {
+				w.stmt(s)
+			}
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				w.stmt(cc.Comm)
+			}
+			for _, s := range cc.Body {
+				w.stmt(s)
+			}
+		}
+		w.restore(saved)
+	}
+}
+
+func (w *walker) snapshot() []string { return append([]string(nil), w.held...) }
+func (w *walker) restore(s []string) { w.held = s }
+
+// ---- expression walk ----
+
+func (w *walker) expr(e ast.Expr) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(ex)
+	case *ast.FuncLit:
+		// A stored or passed closure runs later under an unknown lock set.
+		w.closure(ex, "fn", nil, w.spawned)
+	case *ast.UnaryExpr:
+		if ex.Op == token.ARROW {
+			w.info.exitLinked = true // channel receive
+		}
+		w.expr(ex.X)
+	case *ast.SelectorExpr:
+		w.access(ex)
+		w.expr(ex.X)
+	case *ast.BinaryExpr:
+		w.expr(ex.X)
+		w.expr(ex.Y)
+	case *ast.ParenExpr:
+		w.expr(ex.X)
+	case *ast.StarExpr:
+		w.expr(ex.X)
+	case *ast.IndexExpr:
+		w.expr(ex.X)
+		w.expr(ex.Index)
+	case *ast.IndexListExpr:
+		w.expr(ex.X)
+	case *ast.SliceExpr:
+		w.expr(ex.X)
+		w.expr(ex.Low)
+		w.expr(ex.High)
+		w.expr(ex.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(ex.X)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			w.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(ex.Key)
+		w.expr(ex.Value)
+	case *ast.Ident:
+		if ex.Name == "ctx" {
+			w.info.exitLinked = true // context in scope is a cancel path
+		}
+	}
+}
+
+// call handles one call expression: lock/WaitGroup/close/context
+// classification first, then callee resolution for the call graph.
+func (w *walker) call(call *ast.CallExpr) {
+	// close(ch)
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		isBuiltin := true
+		if w.p.Info != nil {
+			if obj, ok := w.p.Info.Uses[id]; ok {
+				_, isBuiltin = obj.(*types.Builtin) // a shadowed close() is a plain call
+			}
+		}
+		if isBuiltin {
+			key, kind := w.exprKey(call.Args[0])
+			inLoop := w.loopDepth > 0 && !w.perIteration(call.Args[0])
+			w.info.closes = append(w.info.closes, closeSite{
+				ch: key, resolved: kind.stable(), inLoop: inLoop, pkg: w.p, pos: call.Pos(),
+			})
+			w.info.exitLinked = true
+			w.expr(call.Args[0])
+			return
+		}
+	}
+	// Immediately-invoked closure: inline semantics, current locks held.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		w.closure(lit, "inline", w.snapshot(), w.spawned)
+		for _, arg := range call.Args {
+			w.expr(arg)
+		}
+		return
+	}
+	if op, key, ok := w.lockOp(call); ok {
+		sel := call.Fun.(*ast.SelectorExpr)
+		if op == "lock" {
+			for _, outer := range w.held {
+				if outer != key {
+					w.info.pairs = append(w.info.pairs, lockPair{outer: outer, inner: key, pkg: w.p, pos: call.Pos()})
+				}
+			}
+			w.info.acquires = append(w.info.acquires, lockSite{key: key, pkg: w.p, pos: call.Pos()})
+			w.held = append(w.held, key)
+		} else {
+			w.release(key)
+		}
+		w.expr(sel.X)
+		return
+	}
+	if op, key, ok := w.wgOpOf(call); ok {
+		sel := call.Fun.(*ast.SelectorExpr)
+		_, kind := w.exprKey(sel.X)
+		w.info.wgOps[op] = append(w.info.wgOps[op], wgOp{
+			wg: key, resolved: kind.stable(), spawned: w.spawned, pkg: w.p, pos: call.Pos(),
+		})
+		w.info.exitLinked = true
+		w.expr(sel.X)
+		for _, arg := range call.Args {
+			w.expr(arg)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && w.p.Info != nil {
+		if t := w.p.Info.TypeOf(sel.X); t != nil {
+			if named := namedOf(t); named != nil && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "context" {
+				w.info.exitLinked = true // ctx.Done()
+			}
+		}
+	}
+	if callee := w.resolveCallee(call); callee != "" {
+		w.info.calls = append(w.info.calls, callSite{
+			callee: callee, held: w.snapshot(), pkg: w.p, pos: call.Pos(),
+		})
+	}
+	w.expr(call.Fun)
+	for _, arg := range call.Args {
+		w.expr(arg)
+	}
+}
+
+// perIteration reports whether a channel expression denotes a different
+// channel on each pass of the innermost enclosing loop: an indexed element,
+// or a variable declared inside the loop (a range variable included). Such
+// closes are one-per-channel, not double closes.
+func (w *walker) perIteration(arg ast.Expr) bool {
+	switch a := arg.(type) {
+	case *ast.ParenExpr:
+		return w.perIteration(a.X)
+	case *ast.IndexExpr:
+		return true // element identity varies with the index
+	case *ast.Ident:
+		if w.p.Info == nil || len(w.loopStack) == 0 {
+			return false
+		}
+		obj := w.p.Info.Uses[a]
+		if obj == nil {
+			return false
+		}
+		loop := w.loopStack[len(w.loopStack)-1]
+		return obj.Pos() >= loop.Pos() && obj.Pos() < loop.End()
+	}
+	return false
+}
+
+// release drops the most recent acquisition of key from the held set.
+func (w *walker) release(key string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == key {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// deferred handles a defer: a deferred unlock pins the lock held for the
+// rest of the function; anything else is summarized like a plain call.
+func (w *walker) deferred(call *ast.CallExpr) {
+	if op, _, ok := w.lockOp(call); ok && op == "unlock" {
+		return // runs at return; the lock stays held until then
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// Runs at return under an unknown lock set; the closure's own
+		// unlock-before-lock inference recovers the usual
+		// defer func() { ...; mu.Unlock() }() pattern.
+		w.closure(lit, "inline", nil, w.spawned)
+		return
+	}
+	w.call(call)
+}
+
+// spawn handles a go statement: the spawned body is summarized as its own
+// anonymous function with an empty held set (it runs concurrently), and the
+// site records whether any syntactic linkage is visible at the statement.
+func (w *walker) spawn(st *ast.GoStmt) {
+	linked := false
+	for _, arg := range st.Call.Args {
+		if w.argLinks(arg) {
+			linked = true
+		}
+		w.expr(arg) // evaluated in the spawning goroutine
+	}
+	site := spawnSite{linked: linked, pkg: w.p, pos: st.Pos()}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		site.callee = w.closure(lit, "go", nil, true)
+	} else {
+		site.callee = w.resolveCallee(st.Call)
+		w.expr(st.Call.Fun)
+	}
+	w.info.spawns = append(w.info.spawns, site)
+}
+
+// argLinks reports whether a spawn argument is itself a lifecycle link: a
+// channel, a context, or a WaitGroup pointer handed to the goroutine.
+func (w *walker) argLinks(arg ast.Expr) bool {
+	if id, ok := arg.(*ast.Ident); ok && id.Name == "ctx" {
+		return true
+	}
+	if w.p.Info == nil {
+		return false
+	}
+	t := w.p.Info.TypeOf(arg)
+	if t == nil {
+		return false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	if named := namedOf(t); named != nil && named.Obj().Pkg() != nil {
+		path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+		if path == "context" && name == "Context" {
+			return true
+		}
+		if path == "sync" && name == "WaitGroup" {
+			return true
+		}
+	}
+	return false
+}
+
+// closure summarizes a function literal as an anonymous funcInfo keyed
+// under the parent. held seeds the closure's lock context (inline
+// invocations pass the current set); the closure's own unlock-first
+// inference extends it. Inline closures also become call-graph edges so
+// their acquisitions propagate to the parent's callers.
+func (w *walker) closure(lit *ast.FuncLit, kind string, held []string, spawned bool) string {
+	w.litCount++
+	key := w.info.key + "$" + kind + strconv.Itoa(w.litCount)
+	info := w.a.newFuncInfo(key, w.p, lit.Pos(), true)
+	cw := &walker{a: w.a, p: w.p, info: info, spawned: spawned, writes: collectWrites(lit.Body)}
+	cw.held = append(append([]string(nil), held...), cw.entryHeld(lit.Body)...)
+	cw.stmt(lit.Body)
+	if kind == "inline" {
+		w.info.calls = append(w.info.calls, callSite{
+			callee: key, held: append([]string(nil), held...), pkg: w.p, pos: lit.Pos(),
+		})
+	}
+	return key
+}
+
+// resolveCallee maps a call to the summary key of its target function, or
+// "" when the target is not a statically-known named function.
+func (w *walker) resolveCallee(call *ast.CallExpr) string {
+	if w.p.Info == nil {
+		return ""
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := w.p.Info.Uses[id].(*types.Func); ok {
+		return typeFuncKey(fn)
+	}
+	return ""
+}
+
+// access records a type-resolved struct field read or write with the locks
+// currently held. Fields that are themselves sync primitives are identity,
+// not data, and are skipped.
+func (w *walker) access(sel *ast.SelectorExpr) {
+	if w.p.Info == nil {
+		return
+	}
+	s, ok := w.p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	obj, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if syncNamed(obj.Type(), "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map") {
+		return
+	}
+	owner := typeKey(s.Recv())
+	if owner == "" {
+		return
+	}
+	w.info.accesses = append(w.info.accesses, fieldAccess{
+		field:  owner + "." + obj.Name(),
+		guards: w.snapshot(),
+		write:  w.writes[sel],
+		pkg:    w.p,
+		pos:    sel.Sel.Pos(),
+	})
+}

@@ -11,16 +11,26 @@
 // adjacent atomics sharing a cache line (W9), one-element channel sends
 // (W7), deferred work piling up inside loops (W10).
 //
+// On top of the intraprocedural rules sits internal/lint/flow: a call graph
+// over the module plus per-function concurrency summaries, registered into
+// this catalog via Register. Flow rules see a mutex acquired in one function
+// guard a field touched in another, so the analyzer covers the
+// shared-memory failure classes (lock ordering, guarded fields, goroutine
+// leaks, close/WaitGroup imbalance) the intraprocedural rules cannot.
+//
 // A finding can be acknowledged in place with
 //
 //	//lint:ignore <rule> <reason>
 //
 // on the offending line or the line above it; the reason is mandatory and
 // the suppression is itself recorded, so wastevet -suppressed and the T11
-// experiment can audit what was waved through. Findings are sorted and
-// positions are module-relative, so reports are byte-stable across runs and
-// checkouts; rendering goes through internal/report like every other table
-// in the suite.
+// experiment can audit what was waved through. A directive that no longer
+// suppresses anything is itself a finding (stalewaiver) with an automatic
+// fix that deletes it. Findings are sorted and positions are
+// module-relative, so reports are byte-stable across runs and checkouts;
+// rendering goes through internal/report like every other table in the
+// suite, and findings that know their remedy carry a SuggestedFix that
+// wastevet -fix applies deterministically.
 package lint
 
 import (
@@ -31,6 +41,28 @@ import (
 	"strconv"
 	"strings"
 )
+
+// TextEdit is one byte-range replacement inside a module file. Old pins the
+// bytes the edit expects to replace: an applier must skip the edit when the
+// file has drifted, which is what makes repeated -fix runs idempotent.
+type TextEdit struct {
+	// File is the module-root-relative path, forward slashes.
+	File string `json:"file"`
+	// Start and End are byte offsets into the file ([Start, End) replaced).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Old is the exact text currently occupying [Start, End).
+	Old string `json:"old"`
+	// New is the replacement text.
+	New string `json:"new"`
+}
+
+// SuggestedFix is a deterministic remedy for one finding: a set of
+// non-overlapping textual edits plus a one-line description.
+type SuggestedFix struct {
+	Msg   string     `json:"msg"`
+	Edits []TextEdit `json:"edits"`
+}
 
 // Finding is one rule violation (or suppressed violation) at a position.
 type Finding struct {
@@ -49,6 +81,8 @@ type Finding struct {
 	// Reason carries the directive's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Fix, when non-nil, is a mechanical remedy wastevet -fix can apply.
+	Fix *SuggestedFix `json:"fix,omitempty"`
 }
 
 // Pos renders the finding's position as file:line:col.
@@ -59,6 +93,9 @@ func (f Finding) String() string {
 	s := fmt.Sprintf("%s: %s: %s [%s]", f.Pos(), f.Rule, f.Msg, f.Waste)
 	if f.Suppressed {
 		s += " (suppressed: " + f.Reason + ")"
+	}
+	if f.Fix != nil {
+		s += " (fixable)"
 	}
 	return s
 }
@@ -75,6 +112,15 @@ type Rule interface {
 	Doc() string
 	// Check inspects one loaded package and reports findings.
 	Check(p *Package, r *Reporter)
+}
+
+// ModuleRule is a Rule whose analysis spans packages: Analyze calls
+// CheckModule once with every loaded package instead of Check per package.
+// The flow rules implement this — a lock order is only inconsistent across
+// the whole call graph, never inside one package viewed alone.
+type ModuleRule interface {
+	Rule
+	CheckModule(pkgs []*Package, r *ModuleReporter)
 }
 
 // Config selects rules and scopes the plane-sensitive ones.
@@ -162,21 +208,73 @@ type Reporter struct {
 // Report records a finding at pos. The message should name the remedy, not
 // just the problem.
 func (r *Reporter) Report(pos token.Pos, format string, args ...interface{}) {
+	r.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix (nil is
+// allowed and equivalent to Report).
+func (r *Reporter) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
 	p := r.pkg.Fset.Position(pos)
-	file := p.Filename
-	if r.root != "" {
-		if rel, err := filepath.Rel(r.root, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
-		}
-	}
+	relFixFiles(r.root, fix)
 	*r.findings = append(*r.findings, Finding{
 		Rule:  r.rule.Name(),
 		Waste: r.rule.Waste(),
-		File:  filepath.ToSlash(file),
+		File:  relFile(r.root, p.Filename),
 		Line:  p.Line,
 		Col:   p.Column,
 		Msg:   fmt.Sprintf(format, args...),
+		Fix:   fix,
 	})
+}
+
+// ModuleReporter accumulates findings for a module-level rule run. Unlike
+// Reporter it is handed the package per report, since one CheckModule call
+// spans them all.
+type ModuleReporter struct {
+	rule     Rule
+	root     string
+	findings *[]Finding
+}
+
+// Report records a finding at pos inside package p.
+func (r *ModuleReporter) Report(p *Package, pos token.Pos, format string, args ...interface{}) {
+	r.ReportFix(p, pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos inside package p carrying a suggested
+// fix (nil allowed).
+func (r *ModuleReporter) ReportFix(p *Package, pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
+	pp := p.Fset.Position(pos)
+	relFixFiles(r.root, fix)
+	*r.findings = append(*r.findings, Finding{
+		Rule:  r.rule.Name(),
+		Waste: r.rule.Waste(),
+		File:  relFile(r.root, pp.Filename),
+		Line:  pp.Line,
+		Col:   pp.Column,
+		Msg:   fmt.Sprintf(format, args...),
+		Fix:   fix,
+	})
+}
+
+// relFixFiles relativises a fix's edit paths the way relFile does findings'.
+func relFixFiles(root string, fix *SuggestedFix) {
+	if fix == nil {
+		return
+	}
+	for i := range fix.Edits {
+		fix.Edits[i].File = relFile(root, fix.Edits[i].File)
+	}
+}
+
+// relFile relativises an absolute filename against the module root.
+func relFile(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
 }
 
 // Result is a completed lint run.
@@ -194,6 +292,18 @@ func (res *Result) Unsuppressed() []Finding {
 	out := make([]Finding, 0, len(res.Findings))
 	for _, f := range res.Findings {
 		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Fixable returns the unsuppressed findings carrying a suggested fix —
+// the work list of wastevet -fix.
+func (res *Result) Fixable() []Finding {
+	out := make([]Finding, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		if !f.Suppressed && f.Fix != nil {
 			out = append(out, f)
 		}
 	}
@@ -237,15 +347,48 @@ func Analyze(cfg Config, root string, pkgs []*Package) (*Result, error) {
 	}
 	res := &Result{Packages: len(pkgs)}
 	var findings []Finding
+
+	// Directives are indexed up front for the whole load: suppression is
+	// applied once after every rule (package-scoped and module-scoped) has
+	// reported, and usage is tracked so stalewaiver can name the directives
+	// that suppress nothing.
+	sup := newSuppressions(pkgs, root, &findings)
+
+	var moduleRules []ModuleRule
 	for _, p := range pkgs {
 		res.Files += len(p.Files)
 		p.cfg = cfg
-		sup := newSuppressions(p, root, &findings)
-		for _, rule := range rules {
+	}
+	for _, rule := range rules {
+		if mr, ok := rule.(ModuleRule); ok {
+			moduleRules = append(moduleRules, mr)
+			continue
+		}
+		for _, p := range pkgs {
 			rule.Check(p, &Reporter{pkg: p, rule: rule, root: root, findings: &findings})
 		}
-		sup.apply(findings)
 	}
+	for _, mr := range moduleRules {
+		mr.CheckModule(pkgs, &ModuleReporter{rule: mr, root: root, findings: &findings})
+	}
+	sup.apply(findings)
+
+	// stalewaiver post-pass: a directive that matched nothing under the
+	// rules it could have matched is itself a finding with a delete fix.
+	// It runs here rather than as a Rule because it needs the suppression
+	// index's usage bits, which exist only after every other rule reported.
+	if ruleEnabled(rules, "stalewaiver") {
+		enabled := make(map[string]bool, len(rules))
+		for _, r := range rules {
+			enabled[r.Name()] = true
+		}
+		start := len(findings)
+		sup.reportStale(&findings, enabled)
+		// The new findings can themselves be waived (//lint:ignore
+		// stalewaiver <reason>), so suppression applies to them too.
+		sup.apply(findings[start:])
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -266,67 +409,86 @@ func Analyze(cfg Config, root string, pkgs []*Package) (*Result, error) {
 	return res, nil
 }
 
-// suppression is one parsed //lint:ignore directive.
-type suppression struct {
+// ruleEnabled reports whether the enabled set contains a rule by name.
+func ruleEnabled(rules []Rule, name string) bool {
+	for _, r := range rules {
+		if r.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
 	rule   string
 	reason string
 	line   int
 	file   string // module-relative, matching Finding.File
+	pkg    *Package
+	pos    token.Pos // comment start
+	end    token.Pos // comment end
+	used   bool      // matched at least one finding this run
 }
 
-// suppressions indexes a package's ignore directives by file and line.
+// suppressions indexes every package's ignore directives by file and line.
 type suppressions struct {
-	pkg   *Package
-	byKey map[string]suppression // "file:line:rule"
+	list  []*directive
+	byKey map[string]*directive // "file:line:rule"
+	rules map[string]bool       // full catalog names, for unknown-rule staleness
 }
 
-// newSuppressions parses every //lint:ignore directive in the package. A
+// newSuppressions parses every //lint:ignore directive in the packages. A
 // directive missing its reason is itself reported as an "ignore" finding —
 // undocumented waivers are exactly what the analyzer exists to prevent.
-func newSuppressions(p *Package, root string, findings *[]Finding) *suppressions {
-	s := &suppressions{pkg: p, byKey: make(map[string]suppression)}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-				if !ok {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				file := pos.Filename
-				if root != "" {
-					if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-						file = rel
+func newSuppressions(pkgs []*Package, root string, findings *[]Finding) *suppressions {
+	s := &suppressions{byKey: make(map[string]*directive), rules: make(map[string]bool)}
+	for _, r := range Rules() {
+		s.rules[r.Name()] = true
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
 					}
+					pos := p.Fset.Position(c.Pos())
+					file := relFile(root, pos.Filename)
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						*findings = append(*findings, Finding{
+							Rule: "ignore", Waste: "det",
+							File: file, Line: pos.Line, Col: pos.Column,
+							Msg: "//lint:ignore needs a rule name and a reason: //lint:ignore <rule> <reason>",
+						})
+						continue
+					}
+					d := &directive{
+						rule:   fields[0],
+						reason: strings.Join(fields[1:], " "),
+						line:   pos.Line,
+						file:   file,
+						pkg:    p,
+						pos:    c.Pos(),
+						end:    c.End(),
+					}
+					s.list = append(s.list, d)
+					// A trailing directive covers its own line; a standalone
+					// directive covers the line below. Registering both is
+					// harmless and keeps the matcher trivial.
+					s.byKey[supKey(file, pos.Line, d.rule)] = d
+					s.byKey[supKey(file, pos.Line+1, d.rule)] = d
 				}
-				file = filepath.ToSlash(file)
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					*findings = append(*findings, Finding{
-						Rule: "ignore", Waste: "det",
-						File: file, Line: pos.Line, Col: pos.Column,
-						Msg: "//lint:ignore needs a rule name and a reason: //lint:ignore <rule> <reason>",
-					})
-					continue
-				}
-				sup := suppression{
-					rule:   fields[0],
-					reason: strings.Join(fields[1:], " "),
-					line:   pos.Line,
-					file:   file,
-				}
-				// A trailing directive covers its own line; a standalone
-				// directive covers the line below. Registering both is
-				// harmless and keeps the matcher trivial.
-				s.byKey[supKey(file, pos.Line, sup.rule)] = sup
-				s.byKey[supKey(file, pos.Line+1, sup.rule)] = sup
 			}
 		}
 	}
 	return s
 }
 
-// apply marks findings covered by a directive as suppressed, in place.
+// apply marks findings covered by a directive as suppressed, in place, and
+// marks the matching directives used.
 func (s *suppressions) apply(findings []Finding) {
 	if len(s.byKey) == 0 {
 		return
@@ -336,10 +498,39 @@ func (s *suppressions) apply(findings []Finding) {
 		if f.Suppressed || f.Rule == "ignore" {
 			continue
 		}
-		if sup, ok := s.byKey[supKey(f.File, f.Line, f.Rule)]; ok {
+		if d, ok := s.byKey[supKey(f.File, f.Line, f.Rule)]; ok {
 			f.Suppressed = true
-			f.Reason = sup.reason
+			f.Reason = d.reason
+			d.used = true
 		}
+	}
+}
+
+// reportStale emits a stalewaiver finding for every directive that could
+// have matched this run but did not: its named rule ran (or names no known
+// rule — a typo suppresses nothing forever) and no finding landed under it.
+// Directives naming stalewaiver or ignore are never judged — they exist to
+// acknowledge the auditor itself.
+func (s *suppressions) reportStale(findings *[]Finding, enabled map[string]bool) {
+	for _, d := range s.list {
+		if d.used || d.rule == "stalewaiver" || d.rule == "ignore" {
+			continue
+		}
+		known := s.rules[d.rule]
+		if known && !enabled[d.rule] {
+			continue
+		}
+		why := "the rule reports nothing here any more"
+		if !known {
+			why = "no such rule exists"
+		}
+		pos := d.pkg.Fset.Position(d.pos)
+		*findings = append(*findings, Finding{
+			Rule: "stalewaiver", Waste: "det",
+			File: d.file, Line: pos.Line, Col: pos.Column,
+			Msg: "//lint:ignore " + d.rule + " suppresses nothing (" + why + "); delete the directive",
+			Fix: deleteDirectiveFix(d),
+		})
 	}
 }
 

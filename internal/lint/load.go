@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -30,6 +32,10 @@ type Package struct {
 	Info  *types.Info
 	// TypeErrors collects type-check diagnostics (informational only).
 	TypeErrors []error
+	// Src holds each file's raw bytes, keyed by the absolute filename as
+	// recorded in Fset — fix builders slice it to pin the text their edits
+	// replace.
+	Src map[string][]byte
 
 	cfg     Config
 	imports map[*ast.File]map[string]string // local name -> import path
@@ -227,12 +233,25 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	sort.Strings(names)
 
 	files := make([]*ast.File, 0, len(names))
+	src := make(map[string][]byte, len(names))
 	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		if !buildTagsMatch(data) {
+			continue // excluded by its //go:build constraint on this host
+		}
+		f, err := parser.ParseFile(l.fset, path, data, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %v", err)
 		}
 		files = append(files, f)
+		src[path] = data
+	}
+	if len(files) == 0 {
+		return nil, nil
 	}
 
 	p := &Package{
@@ -240,6 +259,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		ImportPath: l.importPathFor(dir),
 		Fset:       l.fset,
 		Files:      files,
+		Src:        src,
 		imports:    make(map[*ast.File]map[string]string),
 	}
 	for _, f := range files {
@@ -263,6 +283,32 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	p.Info = info
 	l.checked[dir] = p
 	return p, nil
+}
+
+// buildTagsMatch evaluates a file's //go:build constraint (the header lines
+// before the package clause) against this host: GOOS, GOARCH, the gc
+// toolchain, and every go1.x release tag hold; anything else — "ignore",
+// another OS, a custom tag — excludes the file, exactly as `go build`
+// would. Files without a constraint always match.
+func buildTagsMatch(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if !constraint.IsGoBuild(trimmed) {
+				continue
+			}
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true // malformed constraints are the parser's problem
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+		break // first non-comment line ends the header
+	}
+	return true
 }
 
 // moduleImporter resolves repo-internal imports through the Loader and

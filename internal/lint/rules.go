@@ -3,12 +3,36 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
+// registered holds module-level rules added by Register, in registration
+// order — the flow package appends its interprocedural rules here from an
+// init so every importer of internal/lint/flow sees one catalog.
+var registered []Rule
+
+// Register appends rules to the catalog. It is meant to be called from an
+// init (internal/lint/flow does); duplicate names panic because the
+// suppression matcher keys on them.
+func Register(rules ...Rule) {
+	names := make(map[string]bool, len(registered)+10)
+	for _, r := range Rules() {
+		names[r.Name()] = true
+	}
+	for _, r := range rules {
+		if names[r.Name()] {
+			panic("lint: duplicate rule registered: " + r.Name())
+		}
+		names[r.Name()] = true
+		registered = append(registered, r)
+	}
+}
+
 // Rules returns the full catalog in canonical order: the determinism family
-// first, then the waste-mode mirrors in keynote order.
+// first, then the waste-mode mirrors in keynote order, then the stalewaiver
+// auditor, then any registered module rules in registration order.
 func Rules() []Rule {
-	return []Rule{
+	out := []Rule{
 		wallclockRule{},
 		randseedRule{},
 		maprangeRule{},
@@ -19,16 +43,21 @@ func Rules() []Rule {
 		atomicpadRule{},
 		chanbatchRule{},
 		deferloopRule{},
+		stalewaiverRule{},
 	}
+	return append(out, registered...)
 }
 
-// RuleNames returns the catalog's rule names in canonical order.
+// RuleNames returns the catalog's rule names, sorted: the list exists for
+// error messages and -list style output, where alphabetical order stays
+// scannable as registration grows the catalog.
 func RuleNames() []string {
 	rules := Rules()
 	out := make([]string, len(rules))
 	for i, r := range rules {
 		out[i] = r.Name()
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -6,8 +6,10 @@ package lint
 // modelled machine.
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // copylocksRule flags sync primitives passed, returned, or received by
@@ -99,7 +101,7 @@ func (r preallocRule) Check(p *Package, rep *Reporter) {
 					continue
 				}
 				if appendsTo(body, name) {
-					rep.Report(declPos,
+					rep.ReportFix(declPos, preallocFix(p, block.List[i-1], block.List[i], name),
 						"%s grows by append inside the following loop; preallocate with make(..., 0, n) to avoid repeated re-allocation and copying", name)
 				}
 			}
@@ -146,6 +148,48 @@ func emptySliceDecl(stmt ast.Stmt) (string, token.Pos, bool) {
 		}
 	}
 	return "", 0, false
+}
+
+// preallocFix builds the prealloc remedy when it is mechanical: the loop
+// ranges over a plain identifier or selector (not the slice itself, not a
+// channel), so the declaration can become make(sliceType, 0, len(ranged)).
+func preallocFix(p *Package, decl, loop ast.Stmt, name string) *SuggestedFix {
+	rs, ok := loop.(*ast.RangeStmt)
+	if !ok {
+		return nil
+	}
+	var ranged string
+	switch x := rs.X.(type) {
+	case *ast.Ident:
+		ranged = x.Name
+	case *ast.SelectorExpr:
+		ranged = types.ExprString(x)
+	default:
+		return nil
+	}
+	if ranged == name || isChanType(p, rs.X) {
+		return nil // len() of the target itself or of a channel buffer is wrong
+	}
+	var sliceType string
+	switch s := decl.(type) {
+	case *ast.AssignStmt:
+		switch rhs := s.Rhs[0].(type) {
+		case *ast.CompositeLit:
+			sliceType = types.ExprString(rhs.Type)
+		case *ast.CallExpr:
+			sliceType = types.ExprString(rhs.Args[0])
+		}
+	case *ast.DeclStmt:
+		if vs, ok := s.Decl.(*ast.GenDecl).Specs[0].(*ast.ValueSpec); ok {
+			sliceType = types.ExprString(vs.Type)
+		}
+	}
+	if sliceType == "" {
+		return nil
+	}
+	return replaceRange(p, "preallocate the slice to the ranged length",
+		decl.Pos(), decl.End(),
+		fmt.Sprintf("%s := make(%s, 0, len(%s))", name, sliceType, ranged))
 }
 
 // isZeroLit reports whether the expression is the literal 0.
@@ -257,12 +301,43 @@ func (r atomicpadRule) Check(p *Package, rep *Reporter) {
 			}
 			for i := 1; i < len(slots); i++ {
 				if slots[i].atomic && slots[i-1].atomic && !slots[i].pad && !slots[i-1].pad {
-					rep.Report(slots[i].pos,
+					var fix *SuggestedFix
+					if p.Fset.Position(slots[i].pos).Line != p.Fset.Position(slots[i-1].pos).Line {
+						fix = padFix(p, slots[i].pos)
+					}
+					rep.ReportFix(slots[i].pos, fix,
 						"%s and %s are adjacent atomics on one cache line (false sharing); insert _ [56]byte padding between independently-written atomics", slots[i-1].name, slots[i].name)
 				}
 			}
 			return true
 		})
+	}
+}
+
+// padFix inserts a `_ [56]byte` field line directly above the second atomic,
+// copying that line's indentation.
+func padFix(p *Package, pos token.Pos) *SuggestedFix {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	src, ok := p.Src[tf.Name()]
+	if !ok {
+		return nil
+	}
+	lineStart := tf.Offset(tf.LineStart(tf.Line(pos)))
+	indentEnd := lineStart
+	for indentEnd < len(src) && (src[indentEnd] == ' ' || src[indentEnd] == '\t') {
+		indentEnd++
+	}
+	return &SuggestedFix{
+		Msg: "insert cache-line padding between the atomics",
+		Edits: []TextEdit{{
+			File:  tf.Name(),
+			Start: lineStart,
+			End:   lineStart,
+			New:   string(src[lineStart:indentEnd]) + "_ [56]byte\n",
+		}},
 	}
 }
 

@@ -1,0 +1,172 @@
+package lint
+
+// SARIF 2.1.0 output: the interchange format CI annotators and editors
+// ingest. One run, one driver (wastevet), the visible rule catalog as rule
+// metadata, every finding as a result. Suppressed findings are emitted with
+// an inSource suppression carrying the waiver's reason, and findings with a
+// SuggestedFix carry the edit as a SARIF fix. Output is deterministic:
+// findings arrive sorted from Analyze and the catalog is sorted by name.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string         `json:"id"`
+	ShortDescription sarifText      `json:"shortDescription"`
+	Properties       map[string]any `json:"properties,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+	Fixes        []sarifFix         `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifText             `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifact      `json:"artifactLocation"`
+	Replacements     []sarifReplacement `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion `json:"deletedRegion"`
+	InsertedContent sarifText       `json:"insertedContent"`
+}
+
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}
+
+// WriteSARIF renders the result as a SARIF 2.1.0 document. The rule catalog
+// is whatever this binary registered — the flow rules appear when the flow
+// package is linked in.
+func WriteSARIF(w io.Writer, res *Result) error {
+	rules := Rules()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name() < rules[j].Name() })
+	index := make(map[string]int, len(rules))
+	srules := make([]sarifRule, len(rules))
+	for i, r := range rules {
+		index[r.Name()] = i
+		srules[i] = sarifRule{
+			ID:               r.Name(),
+			ShortDescription: sarifText{Text: r.Doc()},
+			Properties:       map[string]any{"waste": r.Waste()},
+		}
+	}
+
+	results := make([]sarifResult, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		sr := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "warning",
+			Message: sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		sr.RuleIndex = -1 // the SARIF "not in the catalog" sentinel
+		if i, ok := index[f.Rule]; ok {
+			sr.RuleIndex = i
+		}
+		if f.Suppressed {
+			sr.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Reason}}
+		}
+		if f.Fix != nil {
+			byFile := make(map[string][]sarifReplacement)
+			files := make([]string, 0, len(f.Fix.Edits))
+			for _, e := range f.Fix.Edits {
+				if _, seen := byFile[e.File]; !seen {
+					files = append(files, e.File)
+				}
+				byFile[e.File] = append(byFile[e.File], sarifReplacement{
+					DeletedRegion:   sarifCharRegion{CharOffset: e.Start, CharLength: e.End - e.Start},
+					InsertedContent: sarifText{Text: e.New},
+				})
+			}
+			sort.Strings(files)
+			fix := sarifFix{Description: sarifText{Text: f.Fix.Msg}}
+			for _, file := range files {
+				fix.ArtifactChanges = append(fix.ArtifactChanges, sarifArtifactChange{
+					ArtifactLocation: sarifArtifact{URI: file},
+					Replacements:     byFile[file],
+				})
+			}
+			sr.Fixes = []sarifFix{fix}
+		}
+		results = append(results, sr)
+	}
+
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wastevet", Rules: srules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sarifResultFixture is a hand-built Result covering the three finding
+// shapes SARIF must carry: plain, suppressed-with-reason, and fixable.
+func sarifResultFixture() *Result {
+	return &Result{
+		Findings: []Finding{
+			{
+				Rule: "wallclock", Waste: "det",
+				File: "internal/pdes/engine.go", Line: 10, Col: 5,
+				Msg: "time.Now() read in the modelled plane",
+			},
+			{
+				Rule: "goroutine", Waste: "det",
+				File: "internal/serve/daemon.go", Line: 20, Col: 2,
+				Msg:        "fire-and-forget goroutine",
+				Suppressed: true, Reason: "supervisor owns the lifecycle",
+			},
+			{
+				Rule: "prealloc", Waste: "W1",
+				File: "internal/cache/shard.go", Line: 30, Col: 2,
+				Msg: "out grows by append inside the following loop",
+				Fix: &SuggestedFix{
+					Msg: "preallocate the slice to the ranged length",
+					Edits: []TextEdit{{
+						File: "internal/cache/shard.go", Start: 100, End: 112,
+						Old: "out := []T{}", New: "out := make([]T, 0, len(xs))",
+					}},
+				},
+			},
+		},
+		Packages: 3,
+		Files:    3,
+	}
+}
+
+// TestSARIFGolden pins the SARIF document byte-for-byte against a golden
+// fixture (regenerate with -update).
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sarifResultFixture()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "sarif.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output differs from golden %s:\ngot:\n%s", goldenPath, buf.String())
+	}
+}
+
+// TestSARIFWellFormed checks the structural invariants independent of the
+// golden: valid JSON, catalog-matching ruleIndex, suppression and fix
+// carried through.
+func TestSARIFWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sarifResultFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID       string `json:"ruleId"`
+				RuleIndex    int    `json:"ruleIndex"`
+				Suppressions []struct {
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+				Fixes []struct {
+					ArtifactChanges []struct {
+						Replacements []struct {
+							InsertedContent struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "wastevet" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result %s has ruleIndex %d outside the catalog", r.RuleID, r.RuleIndex)
+			continue
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %s indexes rule %s", r.RuleID, got)
+		}
+	}
+	if len(run.Results[1].Suppressions) != 1 ||
+		run.Results[1].Suppressions[0].Justification != "supervisor owns the lifecycle" {
+		t.Errorf("suppression not carried: %+v", run.Results[1].Suppressions)
+	}
+	fixes := run.Results[2].Fixes
+	if len(fixes) != 1 || len(fixes[0].ArtifactChanges) != 1 ||
+		fixes[0].ArtifactChanges[0].Replacements[0].InsertedContent.Text != "out := make([]T, 0, len(xs))" {
+		t.Errorf("fix not carried: %+v", fixes)
+	}
+}

@@ -8,3 +8,13 @@ func Bad(n int) []int {
 	}
 	return out
 }
+
+// BadRange grows over a ranged slice, so the capacity is knowable and the
+// finding carries a mechanical fix.
+func BadRange(xs []string) []string {
+	out := []string{}
+	for _, x := range xs {
+		out = append(out, x+x)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package stalewaiver fixtures //lint:ignore directives that suppress
+// nothing: leftovers of refactors and plain typos.
+package stalewaiver
+
+// Bad carries two waivers with nothing left to waive.
+func Bad() int {
+	//lint:ignore nosuchrule this rule name never existed (typo)
+	x := 1
+	//lint:ignore alsonotarule stale waiver kept after a refactor
+	return x
+}

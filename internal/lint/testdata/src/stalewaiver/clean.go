@@ -1,0 +1,11 @@
+package stalewaiver
+
+import "time"
+
+// Clean's directive names a real rule: when that rule runs it suppresses
+// the finding (used), and when it does not run staleness cannot be judged.
+// Either way the auditor stays quiet.
+func Clean() int64 {
+	//lint:ignore wallclock fixture: acknowledged host-clock read
+	return time.Now().UnixNano()
+}

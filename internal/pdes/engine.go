@@ -365,7 +365,6 @@ func (e *engine) runChan(nw int, gmin float64) {
 		e.windows++
 	}
 	for _, ch := range start {
-		//lint:ignore chanbatch shutdown broadcast: one close per worker
 		close(ch)
 	}
 	wg.Wait()

@@ -324,7 +324,6 @@ func (e *engine) rollbackTW(ps *partState, t float64) {
 	}
 	for j := len(tw.segs) - 1; j >= si; j-- {
 		seg := &tw.segs[j]
-		//lint:ignore maprange restore order is irrelevant: per-rank restores are independent and touch disjoint state
 		for r, snap := range seg.saved {
 			tw.sw.Restore(int(r), snap)
 			e.seq[r] = seg.savedSeq[r]
